@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --full
+
+doc:
+	dune build @doc
+
+quickstart:
+	dune exec examples/quickstart.exe
+
+clean:
+	dune clean
+
+.PHONY: all test bench bench-full doc quickstart clean

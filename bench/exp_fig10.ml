@@ -1,0 +1,57 @@
+(* Figure 10: response time comparison.
+
+   55 schema-guided queries answered with all-or-nothing access checks
+   against annotated stores; we report the average response time per
+   document size, per store.
+
+   Paper shape: response time roughly linear in document size;
+   MonetDB/SQL ahead of PostgreSQL on large documents; both far slower
+   (paper: ~34x) than the XQuery/native store. *)
+
+module Tabular = Xmlac_util.Tabular
+module Timing = Xmlac_util.Timing
+open Xmlac_core
+
+let run (cfg : Bench_common.config) =
+  Bench_common.section "Figure 10: average response time per query";
+  let queries =
+    Xmlac_workload.Queries.response_queries ~n:cfg.Bench_common.query_count ()
+  in
+  let t =
+    Tabular.create
+      ~headers:[ "factor"; "nodes"; "xquery"; "monetsql"; "postgres" ]
+  in
+  List.iter
+    (fun factor ->
+      let doc = Bench_common.doc factor in
+      let policy = Bench_common.mid_coverage_policy factor in
+      let stores = Bench_common.stores_for doc ~default_sign:"-" in
+      let times =
+        List.map
+          (fun { Bench_common.label; backend } ->
+            let _ = Annotator.annotate backend policy in
+            let _, elapsed =
+              Timing.time (fun () ->
+                  List.iter
+                    (fun q ->
+                      ignore
+                        (Requester.request backend ~default:(Policy.ds policy) q))
+                    queries)
+            in
+            (label, elapsed /. float_of_int (List.length queries)))
+          stores
+      in
+      let find l = List.assoc l times in
+      Tabular.add_row t
+        [
+          Bench_common.pp_factor factor;
+          string_of_int (Xmlac_xml.Tree.size doc);
+          Bench_common.pp_secs (find "xquery");
+          Bench_common.pp_secs (find "monetsql");
+          Bench_common.pp_secs (find "postgres");
+        ])
+    cfg.Bench_common.factors;
+  Tabular.print t;
+  print_endline
+    "expected shape: time grows with document size; xquery much faster than \
+     both relational stores."

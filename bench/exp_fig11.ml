@@ -1,0 +1,60 @@
+(* Figure 11: annotation time vs policy coverage, one sub-table per
+   store (the paper's 11a/11b/11c), series = document factor.
+
+   Paper shape: annotation time grows with both coverage and document
+   size; the relational stores have a small edge on tiny documents but
+   the native store wins in the long run. *)
+
+module Tabular = Xmlac_util.Tabular
+module Timing = Xmlac_util.Timing
+open Xmlac_core
+
+let run (cfg : Bench_common.config) =
+  Bench_common.section
+    "Figure 11: annotation time vs coverage (rows: coverage policy)";
+  let factors = cfg.Bench_common.factors in
+  (* Coverage policies are built against the mid-size document and
+     reused across factors, like the paper's fixed policy files; the
+     achieved coverage per document is re-measured after annotation. *)
+  let policy_doc = Bench_common.doc (List.nth factors (List.length factors / 2)) in
+  let dataset =
+    Xmlac_workload.Coverage.dataset ~doc:policy_doc
+      ~targets:cfg.Bench_common.coverage_targets
+  in
+  List.iter
+    (fun store_label ->
+      Printf.printf "\n(%s)\n" store_label;
+      let t =
+        Tabular.create
+          ~headers:
+            ("coverage"
+            :: List.map (fun f -> "f" ^ Bench_common.pp_factor f) factors)
+      in
+      List.iter
+        (fun (_, policy) ->
+          let cells = ref [] in
+          let measured = ref 0.0 in
+          List.iter
+            (fun factor ->
+              let doc = Bench_common.doc factor in
+              let stores = Bench_common.stores_for doc ~default_sign:"-" in
+              let { Bench_common.backend; _ } =
+                List.find
+                  (fun s -> s.Bench_common.label = store_label)
+                  stores
+              in
+              let stats, elapsed =
+                Timing.time (fun () -> Annotator.annotate backend policy)
+              in
+              measured := Annotator.coverage stats;
+              cells := Bench_common.pp_secs elapsed :: !cells)
+            factors;
+          Tabular.add_row t
+            (Printf.sprintf "%.0f%%" (100.0 *. !measured)
+            :: List.rev !cells))
+        dataset;
+      Tabular.print t)
+    Bench_common.store_labels;
+  print_endline
+    "expected shape: time grows with coverage and factor; xquery best on \
+     large documents."

@@ -1,0 +1,77 @@
+(* Figure 12: partial re-annotation vs full re-annotation after delete
+   updates, per store, averaged over the update workload (the paper
+   reuses its 55 queries as deletes).
+
+   For every update we prepare a freshly annotated store, then time
+   either (a) the trigger-based partial re-annotation or (b) applying
+   the update and annotating from scratch.
+
+   Paper shape: re-annotation time is roughly flat in document size and
+   several times cheaper than full annotation (5x native, 9x column,
+   7x row on average); native re-annotation about twice as fast as
+   relational. *)
+
+module Tabular = Xmlac_util.Tabular
+module Timing = Xmlac_util.Timing
+open Xmlac_core
+
+let run (cfg : Bench_common.config) =
+  Bench_common.section
+    "Figure 12: re-annotation vs full annotation after delete updates";
+  let updates =
+    let all = Xmlac_workload.Queries.delete_updates () in
+    List.filteri (fun i _ -> i < cfg.Bench_common.updates) all
+  in
+  let t =
+    Tabular.create
+      ~headers:[ "factor"; "store"; "reannot"; "fannot"; "speedup" ]
+  in
+  List.iter
+    (fun factor ->
+      let doc = Bench_common.doc factor in
+      let policy = Bench_common.mid_coverage_policy factor in
+      let depend = Depend.build ~mode:Depend.Paper policy in
+      List.iter
+        (fun store_label ->
+          let fresh_annotated () =
+            let stores = Bench_common.stores_for doc ~default_sign:"-" in
+            let { Bench_common.backend; _ } =
+              List.find (fun s -> s.Bench_common.label = store_label) stores
+            in
+            let _ = Annotator.annotate backend policy in
+            backend
+          in
+          let total_partial = ref 0.0 and total_full = ref 0.0 in
+          List.iter
+            (fun update ->
+              let b = fresh_annotated () in
+              let _, dt =
+                Timing.time (fun () ->
+                    Reannotator.reannotate ~schema:Bench_common.schema_graph b
+                      depend ~update)
+              in
+              total_partial := !total_partial +. dt;
+              let b = fresh_annotated () in
+              let _, dt =
+                Timing.time (fun () ->
+                    Reannotator.full_reannotate b policy ~update)
+              in
+              total_full := !total_full +. dt)
+            updates;
+          let n = float_of_int (List.length updates) in
+          let avg_partial = !total_partial /. n in
+          let avg_full = !total_full /. n in
+          Tabular.add_row t
+            [
+              Bench_common.pp_factor factor;
+              store_label;
+              Bench_common.pp_secs avg_partial;
+              Bench_common.pp_secs avg_full;
+              Printf.sprintf "%.1fx" (avg_full /. avg_partial);
+            ])
+        Bench_common.store_labels)
+    cfg.Bench_common.factors;
+  Tabular.print t;
+  print_endline
+    "expected shape: reannot several times cheaper than fannot (paper: 5x \
+     xquery, 9x monetsql, 7x postgres); gap widens with document size."

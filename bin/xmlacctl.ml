@@ -1,0 +1,309 @@
+(* xmlacctl — command-line front end for the xmlac system.
+
+   Subcommands:
+     generate   synthesize an XMark-like document (xmlgen replacement)
+     dtd        print a built-in DTD (hospital | xmark)
+     shred      XML document -> SQL DDL + INSERT script
+     optimize   remove redundant rules from a policy file
+     annotate   materialize a policy's annotations into a document
+     query      all-or-nothing request against an annotated document
+     update     delete update + trigger-based partial re-annotation
+     depend     show rule expansions and the dependency graph *)
+
+open Cmdliner
+open Xmlac_core
+module Tree = Xmlac_xml.Tree
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_out path content =
+  match path with
+  | None -> print_string content
+  | Some p ->
+      let oc = open_out_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("xmlacctl: " ^ m); exit 1) fmt
+
+let load_dtd = function
+  | "hospital" -> Xmlac_workload.Hospital.dtd
+  | "xmark" -> Xmlac_workload.Xmark.dtd
+  | path -> (
+      match Xmlac_xml.Dtd.parse (read_file path) with
+      | Ok dtd -> dtd
+      | Error m -> die "cannot parse DTD %s: %s" path m)
+
+let load_doc path =
+  match Xmlac_xml.Xml_parser.parse (read_file path) with
+  | Ok doc -> doc
+  | Error e ->
+      die "cannot parse %s: %s" path
+        (Format.asprintf "%a" Xmlac_xml.Xml_parser.pp_error e)
+
+let load_policy path =
+  match Policy_io.parse (read_file path) with
+  | Ok p -> p
+  | Error m -> die "cannot parse policy %s: %s" path m
+
+(* --- generate ----------------------------------------------------- *)
+
+let generate factor seed output =
+  let doc = Xmlac_workload.Xmark.generate ~seed:(Int64.of_int seed) ~factor () in
+  write_out output (Xmlac_xml.Serializer.to_string ~indent:true doc);
+  Printf.eprintf "generated %d nodes (factor %g)\n%!" (Tree.size doc) factor
+
+let generate_cmd =
+  let factor =
+    Arg.(value & opt float 0.01 & info [ "f"; "factor" ] ~doc:"Scale factor.")
+  in
+  let seed = Arg.(value & opt int 20090101 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize an XMark-like document.")
+    Term.(const generate $ factor $ seed $ output)
+
+(* --- dtd ---------------------------------------------------------- *)
+
+let dtd_cmd =
+  let which =
+    Arg.(value & pos 0 string "hospital" & info [] ~docv:"NAME")
+  in
+  Cmd.v
+    (Cmd.info "dtd" ~doc:"Print a built-in DTD (hospital | xmark).")
+    Term.(const (fun w -> print_string (Xmlac_xml.Dtd.to_string (load_dtd w))) $ which)
+
+(* --- shred -------------------------------------------------------- *)
+
+let shred dtd_name doc_path default_sign output =
+  let dtd = load_dtd dtd_name in
+  let doc = load_doc doc_path in
+  (match Xmlac_xml.Dtd.validate dtd doc with
+  | [] -> ()
+  | v :: _ ->
+      die "document not valid against DTD: %s"
+        (Format.asprintf "%a" Xmlac_xml.Dtd.pp_violation v));
+  let mapping = Xmlac_shrex.Mapping.of_dtd dtd in
+  let stmts = Xmlac_shrex.Shred.insert_statements mapping ~default_sign doc in
+  write_out output
+    (Xmlac_shrex.Mapping.ddl mapping ^ Xmlac_reldb.Sql_text.render_script stmts)
+
+let shred_cmd =
+  let dtd_name =
+    Arg.(required & opt (some string) None & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let sign =
+    Arg.(value & opt string "-" & info [ "default-sign" ] ~doc:"Initial sign column value.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "shred" ~doc:"Shred an XML document into SQL (ShreX-style).")
+    Term.(const shred $ dtd_name $ doc_path $ sign $ output)
+
+(* --- optimize ----------------------------------------------------- *)
+
+let optimize policy_path verbose =
+  let policy = load_policy policy_path in
+  let report = Optimizer.optimize policy in
+  if verbose then Format.printf "%a" Optimizer.pp_report report
+  else print_string (Policy_io.to_string report.Optimizer.result)
+
+let optimize_cmd =
+  let policy_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show the removal report.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Remove redundant rules from a policy.")
+    Term.(const optimize $ policy_path $ verbose)
+
+(* --- annotate ----------------------------------------------------- *)
+
+let annotate doc_path policy_path output =
+  let doc = load_doc doc_path in
+  let policy = Optimizer.optimize_policy (load_policy policy_path) in
+  let backend = Xml_backend.make doc in
+  let stats = Annotator.annotate backend policy in
+  Printf.eprintf "marked %d of %d nodes (%.1f%% coverage)\n%!"
+    stats.Annotator.marked stats.Annotator.total
+    (100.0 *. Annotator.coverage stats);
+  write_out output (Xmlac_xml.Serializer.to_string ~indent:true doc)
+
+let annotate_cmd =
+  let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let policy_path = Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "annotate" ~doc:"Annotate a document with accessibility signs.")
+    Term.(const annotate $ doc_path $ policy_path $ output)
+
+(* --- query -------------------------------------------------------- *)
+
+let query doc_path policy_path q =
+  let doc = load_doc doc_path in
+  let policy = load_policy policy_path in
+  let backend = Xml_backend.make doc in
+  (* The document is expected to be annotated already (sign
+     attributes); unannotated nodes fall back to the default. *)
+  let decision = Requester.request_string backend ~default:(Policy.ds policy) q in
+  Format.printf "%a@." Requester.pp decision;
+  match decision with
+  | Requester.Granted ids ->
+      List.iter
+        (fun id ->
+          match Tree.find doc id with
+          | Some n ->
+              Printf.printf "  #%d %s%s\n" id
+                (String.concat "/" (Tree.label_path n))
+                (match n.Tree.value with
+                | Some v -> Printf.sprintf " = %S" v
+                | None -> "")
+          | None -> ())
+        ids
+  | Requester.Denied _ -> exit 3
+
+let query_cmd =
+  let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let policy_path = Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY") in
+  let q = Arg.(required & pos 2 (some string) None & info [] ~docv:"XPATH") in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"All-or-nothing request against an annotated document (exit code 3 on denial).")
+    Term.(const query $ doc_path $ policy_path $ q)
+
+(* --- update ------------------------------------------------------- *)
+
+let update doc_path policy_path dtd_name update_expr output =
+  let doc = load_doc doc_path in
+  let policy = Optimizer.optimize_policy (load_policy policy_path) in
+  let sg = Xmlac_xml.Schema_graph.build (load_dtd dtd_name) in
+  let backend = Xml_backend.make doc in
+  let depend = Depend.build ~mode:(Depend.Overlap sg) policy in
+  let stats =
+    Reannotator.reannotate ~schema:sg backend depend
+      ~update:(Xmlac_xpath.Parser.parse_exn update_expr)
+  in
+  Printf.eprintf
+    "deleted %d subtree(s); %d rule(s) triggered; %d node(s) re-annotated\n%!"
+    stats.Reannotator.deleted_roots
+    (List.length stats.Reannotator.triggered)
+    stats.Reannotator.affected;
+  write_out output (Xmlac_xml.Serializer.to_string ~indent:true doc)
+
+let update_cmd =
+  let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let policy_path = Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY") in
+  let dtd_name =
+    Arg.(required & opt (some string) None & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let expr = Arg.(required & pos 2 (some string) None & info [] ~docv:"XPATH") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply a delete update and partially re-annotate (Section 5.3).")
+    Term.(const update $ doc_path $ policy_path $ dtd_name $ expr $ output)
+
+(* --- depend ------------------------------------------------------- *)
+
+let depend policy_path dtd_name =
+  let policy = load_policy policy_path in
+  let sg = Xmlac_xml.Schema_graph.build (load_dtd dtd_name) in
+  print_endline "rule expansions:";
+  List.iter
+    (fun (r : Rule.t) ->
+      Printf.printf "  %-4s -> { %s }\n" r.Rule.name
+        (String.concat ", "
+           (List.map Xmlac_xpath.Pp.expr_to_string
+              (Xmlac_xpath.Expand.expand ~schema:sg r.Rule.resource))))
+    (Policy.rules policy);
+  print_endline "dependency graph (paper mode):";
+  Format.printf "%a" Depend.pp (Depend.build ~mode:Depend.Paper policy)
+
+let depend_cmd =
+  let policy_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY") in
+  let dtd_name =
+    Arg.(required & opt (some string) None & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  Cmd.v
+    (Cmd.info "depend" ~doc:"Show rule expansions and the dependency graph.")
+    Term.(const depend $ policy_path $ dtd_name)
+
+(* --- view --------------------------------------------------------- *)
+
+let view doc_path policy_path mode output =
+  let doc = load_doc doc_path in
+  let policy = load_policy policy_path in
+  let mode =
+    match mode with
+    | "prune" -> Security_view.Prune
+    | "promote" -> Security_view.Promote
+    | m -> die "unknown view mode %S (prune | promote)" m
+  in
+  let v = Security_view.materialize ~mode policy doc in
+  Printf.eprintf "view: %d of %d nodes visible\n%!"
+    (Security_view.visible_count ~mode policy doc)
+    (Tree.size doc);
+  write_out output (Xmlac_xml.Serializer.to_string ~indent:true ~signs:false v)
+
+let view_cmd =
+  let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let policy_path = Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY") in
+  let mode =
+    Arg.(value & opt string "promote" & info [ "mode" ] ~doc:"prune or promote.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "view" ~doc:"Materialize the security view of a document.")
+    Term.(const view $ doc_path $ policy_path $ mode $ output)
+
+(* --- cam ---------------------------------------------------------- *)
+
+let cam doc_path default =
+  let doc = load_doc doc_path in
+  let default =
+    match Tree.sign_of_string default with
+    | Some s -> s
+    | None -> die "default sign must be + or -"
+  in
+  Format.printf "%a@." Cam.pp (Cam.build doc ~default)
+
+let cam_cmd =
+  let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
+  let default =
+    Arg.(value & opt string "-" & info [ "default" ] ~doc:"Default sign (+ or -).")
+  in
+  Cmd.v
+    (Cmd.info "cam"
+       ~doc:"Compressed-accessibility-map statistics of an annotated document.")
+    Term.(const cam $ doc_path $ default)
+
+let () =
+  let info =
+    Cmd.info "xmlacctl"
+      ~doc:"Access control for XML documents over native and relational stores."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
+            query_cmd; update_cmd; depend_cmd; view_cmd; cam_cmd;
+          ]))

@@ -1,0 +1,47 @@
+(** Annotation queries (Section 5.2, algorithm Annotation-Queries of
+    Figure 5).
+
+    A policy compiles to one set-algebraic query over the scopes of its
+    rules; evaluating it yields the nodes whose sign must be set to the
+    {e opposite} of the default — the paper stores only non-default
+    annotations in the native store and initializes the [s] column to
+    the default relationally, so in both backends the nodes {e to
+    update} are:
+
+    - ds = deny,  cr = deny  -> grants EXCEPT denies  (marked "+")
+    - ds = deny,  cr = allow -> grants                (marked "+")
+    - ds = allow, cr = deny  -> denies                (marked "-")
+    - ds = allow, cr = allow -> denies EXCEPT grants  (marked "-")
+
+    The same abstract query renders to SQL (through the ShreX
+    translation, combined with UNION / EXCEPT) and to an XQuery-style
+    expression for the native store. *)
+
+type shape = Single | Except
+(** [Single]: the primary union alone. [Except]: primary union minus
+    secondary union. *)
+
+type t = {
+  primary : Xmlac_xpath.Ast.expr list;
+  secondary : Xmlac_xpath.Ast.expr list;  (** Empty when [shape] is [Single]. *)
+  shape : shape;
+  mark : Rule.effect;  (** The sign stamped on the query's answer. *)
+}
+
+val build : Policy.t -> t
+
+val eval_native : Xmlac_xml.Tree.t -> t -> Xmlac_xml.Tree.node list
+(** Direct set-algebraic evaluation over the tree, in document
+    order. *)
+
+val to_sql : Xmlac_shrex.Mapping.t -> t -> Xmlac_reldb.Sql.query
+(** UNION of the translated primaries, EXCEPT the UNION of the
+    translated secondaries when applicable.  An empty primary set
+    yields a query with an empty answer. *)
+
+val to_xquery_string : doc_name:string -> t -> string
+(** Display form mirroring the paper's example:
+    [for $n in doc("...")//((R1 union R2) except R3) return
+    xmlac:annotate($n, "+")]. *)
+
+val pp : Format.formatter -> t -> unit

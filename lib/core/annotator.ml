@@ -1,0 +1,19 @@
+type stats = {
+  reset_default : Rule.effect;
+  marked : int;
+  total : int;
+}
+
+let annotate_with_query (backend : Backend.t) policy query =
+  let default = Policy.ds policy in
+  backend.Backend.reset_signs ~default;
+  let ids = backend.Backend.eval_annotation_query query in
+  let marked = backend.Backend.set_sign_ids ids query.Annotation_query.mark in
+  { reset_default = default; marked; total = backend.Backend.node_count () }
+
+let annotate backend policy =
+  annotate_with_query backend policy (Annotation_query.build policy)
+
+let coverage stats =
+  if stats.total = 0 then 0.0
+  else float_of_int stats.marked /. float_of_int stats.total

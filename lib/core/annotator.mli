@@ -1,0 +1,22 @@
+(** Full document annotation (Section 5.2, algorithm Annotate).
+
+    Resets every node to the policy's default, evaluates the
+    annotation query, and stamps its answer with the opposite sign.
+    After [annotate], the backend's effective signs materialize
+    [\[\[P\]\](T)] exactly. *)
+
+type stats = {
+  reset_default : Rule.effect;  (** The default sign applied first. *)
+  marked : int;  (** Nodes stamped with the non-default sign. *)
+  total : int;  (** Nodes in the store at annotation time. *)
+}
+
+val annotate : Backend.t -> Policy.t -> stats
+
+val annotate_with_query : Backend.t -> Policy.t -> Annotation_query.t -> stats
+(** Same, but with a pre-built (possibly restricted) annotation
+    query — the reannotator's entry point. *)
+
+val coverage : stats -> float
+(** Fraction of nodes carrying the non-default sign, in [0, 1] — the
+    paper's "doc coverage" axis of Figure 11. *)

@@ -1,0 +1,20 @@
+module Tree = Xmlac_xml.Tree
+
+type t = {
+  name : string;
+  eval_ids : Xmlac_xpath.Ast.expr -> int list;
+  eval_annotation_query : Annotation_query.t -> int list;
+  set_sign_ids : int list -> Tree.sign -> int;
+  reset_signs : default:Tree.sign -> unit;
+  sign_of : int -> Tree.sign option;
+  delete_update : Xmlac_xpath.Ast.expr -> int;
+  has_node : int -> bool;
+  live_ids : unit -> int list;
+  node_count : unit -> int;
+}
+
+let effective_sign t ~default id =
+  match t.sign_of id with Some s -> s | None -> default
+
+let accessible_ids t ~default =
+  List.filter (fun id -> effective_sign t ~default id = Tree.Plus) (t.live_ids ())

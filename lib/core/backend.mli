@@ -1,0 +1,39 @@
+(** The storage-backend interface the access-control engine drives.
+
+    Figure 3's annotator / reannotator / requester talk to both stores
+    through exactly these operations; {!Rel_backend} routes them
+    through SQL over the shredded database, {!Xml_backend} through
+    XPath over the native tree.  Node identity is the universal id in
+    both. *)
+
+type t = {
+  name : string;  (** e.g. "xquery", "row-sql", "column-sql". *)
+  eval_ids : Xmlac_xpath.Ast.expr -> int list;
+      (** Ids selected by an expression, ascending. *)
+  eval_annotation_query : Annotation_query.t -> int list;
+      (** Ids in the annotation query's answer (UNION/EXCEPT done in
+          the backend's own algebra). *)
+  set_sign_ids : int list -> Xmlac_xml.Tree.sign -> int;
+      (** Stamps the sign on the given nodes; ids no longer present are
+          skipped; returns how many were stamped. *)
+  reset_signs : default:Xmlac_xml.Tree.sign -> unit;
+      (** Returns every node to the unannotated/default state. *)
+  sign_of : int -> Xmlac_xml.Tree.sign option;
+      (** [None] when the node carries no explicit annotation (native
+          store) or does not exist. *)
+  delete_update : Xmlac_xpath.Ast.expr -> int;
+      (** Applies a delete update: removes the selected nodes and their
+          subtrees; returns the number of subtree roots removed. *)
+  has_node : int -> bool;
+      (** Whether a node with this universal id is currently stored;
+          O(1) natively, a handful of index probes relationally. *)
+  live_ids : unit -> int list;
+  node_count : unit -> int;
+}
+
+val accessible_ids : t -> default:Xmlac_xml.Tree.sign -> int list
+(** Ids whose effective sign (explicit or default) is [Plus],
+    ascending — the materialized [\[\[P\]\](T)]. *)
+
+val effective_sign : t -> default:Xmlac_xml.Tree.sign -> int -> Xmlac_xml.Tree.sign
+(** Explicit sign if present, the default otherwise. *)

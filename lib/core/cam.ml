@@ -1,0 +1,45 @@
+module Tree = Xmlac_xml.Tree
+
+type t = {
+  default : Tree.sign;
+  map : (int, Tree.sign) Hashtbl.t;  (** Sign-change points only. *)
+  node_count : int;
+}
+
+let build doc ~default =
+  let map = Hashtbl.create 64 in
+  (* Preorder walk carrying the parent's effective sign: record an
+     entry exactly where the effective sign flips.  Effective follows
+     the store's model — the node's explicit sign, or the default. *)
+  let rec go inherited (n : Tree.node) =
+    let effective =
+      match n.Tree.sign with Some s -> s | None -> default
+    in
+    if effective <> inherited then Hashtbl.replace map n.Tree.id effective;
+    List.iter (go effective) n.Tree.children
+  in
+  go default (Tree.root doc);
+  { default; map; node_count = Tree.size doc }
+
+let lookup t (n : Tree.node) =
+  let rec up (m : Tree.node) =
+    match Hashtbl.find_opt t.map m.Tree.id with
+    | Some s -> s
+    | None -> (
+        match Tree.parent m with Some p -> up p | None -> t.default)
+  in
+  up n
+
+let entries t = Hashtbl.length t.map
+let node_count t = t.node_count
+
+let compression_ratio t =
+  if t.node_count = 0 then 0.0
+  else float_of_int (entries t) /. float_of_int t.node_count
+
+let pp ppf t =
+  Format.fprintf ppf "cam: %d entr%s over %d nodes (ratio %.3f, default %s)"
+    (entries t)
+    (if entries t = 1 then "y" else "ies")
+    t.node_count (compression_ratio t)
+    (Tree.sign_to_string t.default)

@@ -1,0 +1,33 @@
+(** Compressed accessibility map (related work of the paper: Yu et al.,
+    TODS 2004; Zhang et al., DKE 2007).
+
+    Accessibility is strongly clustered — whole subtrees tend to share
+    one sign — so instead of one sign per node, a CAM stores a sign
+    only at nodes whose {e effective} sign differs from their parent's;
+    a lookup walks up to the nearest recorded ancestor.  This is the
+    compact labeling the paper cites as the more sophisticated way to
+    store annotations, provided here as a diagnostics/alternative
+    representation over the same materialized signs. *)
+
+type t
+
+val build : Xmlac_xml.Tree.t -> default:Xmlac_xml.Tree.sign -> t
+(** Reads the document's current (possibly partial) annotations; an
+    unannotated node's effective sign is [default] — the native
+    store's interpretation (Section 5.2). *)
+
+val lookup : t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign
+(** Effective sign of a node of the document the map was built from.
+    O(depth) worst case; O(1) when the node itself carries an entry. *)
+
+val entries : t -> int
+(** Stored sign changes. *)
+
+val node_count : t -> int
+(** Document size at build time. *)
+
+val compression_ratio : t -> float
+(** [entries / node_count]; small is good — 1.0 means the map
+    degenerated to one sign per node. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,143 @@
+module Tree = Xmlac_xml.Tree
+module Sg = Xmlac_xml.Schema_graph
+module Db = Xmlac_reldb.Database
+module Table = Xmlac_reldb.Table
+
+type backend_kind = Native | Row_sql | Column_sql
+
+let backend_kind_to_string = function
+  | Native -> "native"
+  | Row_sql -> "row-sql"
+  | Column_sql -> "column-sql"
+
+let all_backend_kinds = [ Native; Row_sql; Column_sql ]
+
+type trigger_mode = Paper_mode | Overlap_mode
+
+type t = {
+  policy : Policy.t;
+  original_policy : Policy.t;
+  report : Optimizer.report option;
+  mapping : Xmlac_shrex.Mapping.t;
+  sg : Sg.t;
+  depend : Depend.t;
+  doc : Tree.t;
+  row_db : Db.t;
+  col_db : Db.t;
+  native : Backend.t;
+  row : Backend.t;
+  column : Backend.t;
+}
+
+let create ?(mode = Paper_mode) ?(optimize = true) ~dtd ~policy doc =
+  let mapping = Xmlac_shrex.Mapping.of_dtd dtd in
+  let sg = Xmlac_shrex.Mapping.schema_graph mapping in
+  let original_policy = policy in
+  let report, policy =
+    if optimize then
+      let r = Optimizer.optimize policy in
+      (Some r, r.Optimizer.result)
+    else (None, policy)
+  in
+  let default_sign = Rule.effect_to_string (Policy.ds policy) in
+  let native_doc = Tree.copy doc in
+  let row_db = Db.create Table.Row in
+  let col_db = Db.create Table.Column in
+  let _ = Xmlac_shrex.Shred.load mapping ~default_sign row_db doc in
+  let _ = Xmlac_shrex.Shred.load mapping ~default_sign col_db doc in
+  let depend_mode =
+    match mode with
+    | Paper_mode -> Depend.Paper
+    | Overlap_mode -> Depend.Overlap sg
+  in
+  {
+    policy;
+    original_policy;
+    report;
+    mapping;
+    sg;
+    depend = Depend.build ~mode:depend_mode policy;
+    doc = native_doc;
+    row_db;
+    col_db;
+    native = Xml_backend.make native_doc;
+    row = Rel_backend.make mapping row_db;
+    column = Rel_backend.make mapping col_db;
+  }
+
+let policy t = t.policy
+let original_policy t = t.original_policy
+let optimizer_report t = t.report
+let mapping t = t.mapping
+let schema_graph t = t.sg
+let depend t = t.depend
+
+let backend t = function
+  | Native -> t.native
+  | Row_sql -> t.row
+  | Column_sql -> t.column
+
+let document t = t.doc
+
+let annotate t kind = Annotator.annotate (backend t kind) t.policy
+
+let annotate_all t =
+  List.map (fun k -> (k, annotate t k)) all_backend_kinds
+
+let request t kind query =
+  Requester.request_string (backend t kind) ~default:(Policy.ds t.policy) query
+
+let update t query =
+  let expr = Xmlac_xpath.Parser.parse_exn query in
+  List.map
+    (fun k ->
+      (k, Reannotator.reannotate ~schema:t.sg (backend t k) t.depend ~update:expr))
+    all_backend_kinds
+
+(* Insert updates: graft into the native store first, then mirror the
+   freshly created subtrees — same universal ids — into both relational
+   stores, repairing annotations in each through the generic cycle. *)
+let insert t ~at ~fragment =
+  let at_expr = Xmlac_xpath.Parser.parse_exn at in
+  let frag_root = (Tree.root fragment).Tree.name in
+  (* The grafted roots and everything below them. *)
+  let touched =
+    let root_path =
+      Xmlac_xpath.Ast.{ steps = at_expr.steps @ [ step Child (Name frag_root) ] }
+    in
+    let subtree_path =
+      Xmlac_xpath.Ast.{ steps = root_path.steps @ [ step Descendant Wildcard ] }
+    in
+    [ root_path; subtree_path ]
+  in
+  let default_sign = Rule.effect_to_string (Policy.ds t.policy) in
+  let new_roots = ref [] in
+  let native_stats =
+    Reannotator.repair ~schema:t.sg t.native t.depend ~touched
+      ~apply:(fun () ->
+        let roots = Xmlac_xmldb.Update.insert_nodes t.doc ~at:at_expr ~fragment in
+        new_roots := roots;
+        List.length roots)
+  in
+  let rel kind backend db =
+    ( kind,
+      Reannotator.repair ~schema:t.sg backend t.depend ~touched
+        ~apply:(fun () ->
+          List.iter
+            (fun root ->
+              ignore
+                (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign db
+                   root))
+            !new_roots;
+          List.length !new_roots) )
+  in
+  [ (Native, native_stats); rel Row_sql t.row t.row_db;
+    rel Column_sql t.column t.col_db ]
+
+let accessible t kind =
+  Backend.accessible_ids (backend t kind) ~default:(Policy.ds t.policy)
+
+let consistent t =
+  match List.map (accessible t) all_backend_kinds with
+  | [ a; b; c ] -> a = b && b = c
+  | _ -> assert false

@@ -1,0 +1,67 @@
+(** The assembled system of Figure 3: optimizer + annotator +
+    reannotator + requester over a native XML store and two relational
+    stores kept in lockstep.
+
+    [create] shreds one source document into a row-engine database
+    ("PostgreSQL") and a column-engine database ("MonetDB/SQL"), keeps
+    a private native copy ("MonetDB/XQuery"), optimizes the policy and
+    precomputes the rule dependency graph.  Updates are applied to all
+    three stores so their annotations can be compared at any point. *)
+
+type backend_kind = Native | Row_sql | Column_sql
+
+val backend_kind_to_string : backend_kind -> string
+val all_backend_kinds : backend_kind list
+
+type trigger_mode = Paper_mode | Overlap_mode
+(** See {!Depend.mode}; [Overlap_mode] is the complete variant. *)
+
+type t
+
+val create :
+  ?mode:trigger_mode ->
+  ?optimize:bool ->
+  dtd:Xmlac_xml.Dtd.t ->
+  policy:Policy.t ->
+  Xmlac_xml.Tree.t ->
+  t
+(** [optimize] (default [true]) runs redundancy elimination first.
+    The source document is copied; the caller's tree is not touched. *)
+
+val policy : t -> Policy.t
+(** The (possibly optimized) policy in force. *)
+
+val original_policy : t -> Policy.t
+val optimizer_report : t -> Optimizer.report option
+val mapping : t -> Xmlac_shrex.Mapping.t
+val schema_graph : t -> Xmlac_xml.Schema_graph.t
+val depend : t -> Depend.t
+val backend : t -> backend_kind -> Backend.t
+val document : t -> Xmlac_xml.Tree.t
+(** The native store's live document. *)
+
+val annotate : t -> backend_kind -> Annotator.stats
+val annotate_all : t -> (backend_kind * Annotator.stats) list
+
+val request : t -> backend_kind -> string -> Requester.decision
+(** All-or-nothing query answering against the materialized
+    annotations. *)
+
+val update : t -> string -> (backend_kind * Reannotator.stats) list
+(** Applies a delete update (XPath string) to every store and
+    re-annotates each partially. *)
+
+val insert :
+  t -> at:string -> fragment:Xmlac_xml.Tree.t ->
+  (backend_kind * Reannotator.stats) list
+(** Grafts a copy of [fragment] under every node selected by [at] in
+    every store (the relational stores mirror the native store's fresh
+    universal ids, so the three stay comparable) and partially
+    re-annotates each.  The trigger treats the insertion points —
+    [at/<fragment-root>] — as the update expression. *)
+
+val consistent : t -> bool
+(** Whether all three stores currently materialize the same accessible
+    node set — the cross-backend invariant the tests lean on. *)
+
+val accessible : t -> backend_kind -> int list

@@ -1,0 +1,65 @@
+module C = Xmlac_xpath.Containment
+
+type removal = {
+  removed : Rule.t;
+  because_of : Rule.t;
+}
+
+type report = {
+  result : Policy.t;
+  removals : removal list;
+}
+
+(* Figure 4, specialized to one effect class: repeatedly drop any rule
+   contained in another surviving rule.  When two rules are mutually
+   contained (equivalent), the earlier one wins, so exactly one
+   survives. *)
+let eliminate ~contained rules =
+  let removals = ref [] in
+  let keep kept (r : Rule.t) =
+    match
+      List.find_opt (fun k -> contained r.Rule.resource k.Rule.resource) kept
+    with
+    | Some k ->
+        removals := { removed = r; because_of = k } :: !removals;
+        kept
+    | None ->
+        (* [r] survives for now, but may subsume earlier survivors. *)
+        let kept, dropped =
+          List.partition
+            (fun k -> not (contained k.Rule.resource r.Rule.resource))
+            kept
+        in
+        List.iter
+          (fun k -> removals := { removed = k; because_of = r } :: !removals)
+          dropped;
+        kept @ [ r ]
+  in
+  let survivors = List.fold_left keep [] rules in
+  (survivors, List.rev !removals)
+
+let optimize ?schema policy =
+  let contained =
+    match schema with
+    | None -> C.contained_in
+    | Some sg -> C.contained_in_schema sg
+  in
+  let pos, rem_pos = eliminate ~contained (Policy.positive policy) in
+  let neg, rem_neg = eliminate ~contained (Policy.negative policy) in
+  (* Preserve the original interleaving among survivors. *)
+  let surviving r = List.exists (fun k -> k == r) (pos @ neg) in
+  let rules = List.filter surviving (Policy.rules policy) in
+  { result = Policy.with_rules policy rules; removals = rem_pos @ rem_neg }
+
+let optimize_policy ?schema policy = (optimize ?schema policy).result
+
+let pp_report ppf r =
+  Format.fprintf ppf "kept %d rule(s), removed %d:@."
+    (Policy.size r.result)
+    (List.length r.removals);
+  List.iter
+    (fun rem ->
+      Format.fprintf ppf "  - %a  (contained in %a)@." Rule.pp rem.removed
+        Rule.pp rem.because_of)
+    r.removals;
+  Format.fprintf ppf "%a" Policy.pp r.result

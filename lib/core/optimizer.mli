@@ -1,0 +1,35 @@
+(** Policy optimization: redundancy elimination (Section 5.1,
+    algorithm Redundancy-Elimination of Figure 4).
+
+    A rule [R] is redundant when some other rule [R'] of the {e same}
+    effect contains it ([R.resource ⊑ R'.resource]): every node [R]
+    would stamp is already stamped identically by [R'].  Containment is
+    decided by {!Xmlac_xpath.Containment}; because that test is a
+    sound under-approximation, the optimizer may keep a redundant rule
+    but never removes a non-redundant one — the optimized policy is
+    always equivalent to the original. *)
+
+type removal = {
+  removed : Rule.t;
+  because_of : Rule.t;  (** The same-effect rule containing it. *)
+}
+
+type report = {
+  result : Policy.t;
+  removals : removal list;  (** In elimination order. *)
+}
+
+val optimize : ?schema:Xmlac_xml.Schema_graph.t -> Policy.t -> report
+(** Eliminates redundant rules separately within the positive and the
+    negative sets, then reassembles the policy (rules of opposite
+    effect never eliminate each other — R3 vs R1 in the paper).
+    With [schema], containment is decided relative to the DTD
+    ({!Xmlac_xpath.Containment.contained_in_schema}), which removes
+    strictly more redundancy — the schema-aware optimization the
+    paper's conclusion calls for.  Only sound when every document the
+    policy will ever guard validates against that DTD. *)
+
+val optimize_policy : ?schema:Xmlac_xml.Schema_graph.t -> Policy.t -> Policy.t
+(** [optimize] without the report. *)
+
+val pp_report : Format.formatter -> report -> unit

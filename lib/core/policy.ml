@@ -1,0 +1,78 @@
+module Tree = Xmlac_xml.Tree
+module Xp = Xmlac_xpath
+
+type t = {
+  ds : Rule.effect;
+  cr : Rule.effect;
+  rules : Rule.t list;
+}
+
+let make ~ds ~cr rules = { ds; cr; rules }
+
+let ds t = t.ds
+let cr t = t.cr
+let rules t = t.rules
+let positive t = List.filter Rule.is_positive t.rules
+let negative t = List.filter Rule.is_negative t.rules
+let size t = List.length t.rules
+
+let with_rules t rules = { t with rules }
+
+let find_rule t name =
+  List.find_opt (fun r -> String.equal r.Rule.name name) t.rules
+
+(* Union of rule scopes as an id set. *)
+let scope_set doc rules =
+  let set = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (n : Tree.node) -> Hashtbl.replace set n.Tree.id ())
+        (Rule.scope doc r))
+    rules;
+  set
+
+let accessible_id_set t doc =
+  let a = scope_set doc (positive t) in
+  let d = scope_set doc (negative t) in
+  let universe () =
+    let u = Hashtbl.create 64 in
+    Tree.iter (fun n -> Hashtbl.replace u n.Tree.id ()) doc;
+    u
+  in
+  let minus x y =
+    let r = Hashtbl.create (Hashtbl.length x) in
+    Hashtbl.iter (fun k () -> if not (Hashtbl.mem y k) then Hashtbl.replace r k ()) x;
+    r
+  in
+  (* Table 2. *)
+  match (t.ds, t.cr) with
+  | Rule.Plus, Rule.Plus -> minus (universe ()) (minus d a)
+  | Rule.Minus, Rule.Plus -> a
+  | Rule.Plus, Rule.Minus -> minus (universe ()) d
+  | Rule.Minus, Rule.Minus -> minus a d
+
+let accessible_nodes t doc =
+  let set = accessible_id_set t doc in
+  List.filter (fun (n : Tree.node) -> Hashtbl.mem set n.Tree.id) (Tree.nodes doc)
+
+let accessible_ids t doc =
+  List.sort Stdlib.compare
+    (Hashtbl.fold (fun id () acc -> id :: acc) (accessible_id_set t doc) [])
+
+let node_accessible t doc n =
+  Hashtbl.mem (accessible_id_set t doc) n.Tree.id
+
+let annotate_reference t doc =
+  let set = accessible_id_set t doc in
+  Tree.iter
+    (fun n ->
+      Tree.set_sign n
+        (Some (if Hashtbl.mem set n.Tree.id then Tree.Plus else Tree.Minus)))
+    doc
+
+let pp ppf t =
+  Format.fprintf ppf "policy (ds=%s, cr=%s):@."
+    (Rule.effect_to_string t.ds)
+    (Rule.effect_to_string t.cr);
+  List.iter (fun r -> Format.fprintf ppf "  %a@." Rule.pp r) t.rules

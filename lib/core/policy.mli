@@ -1,0 +1,51 @@
+(** Access control policies [(ds, cr, A, D)] and their semantics
+    (Section 3, Table 2).
+
+    [ds] is the default semantics — the accessibility of nodes no rule
+    covers; [cr] the conflict resolution — the outcome for nodes
+    covered by rules of both signs ([Minus] = deny overrides); [A]/[D]
+    the positive/negative rule sets.  The common case in practice, and
+    the paper's running configuration, is deny/deny. *)
+
+type t
+
+val make :
+  ds:Rule.effect -> cr:Rule.effect -> Rule.t list -> t
+(** Rule order is preserved (it only affects display). *)
+
+val ds : t -> Rule.effect
+val cr : t -> Rule.effect
+val rules : t -> Rule.t list
+val positive : t -> Rule.t list
+(** The positive rule set [A]. *)
+
+val negative : t -> Rule.t list
+(** The negative rule set [D]. *)
+
+val size : t -> int
+
+val with_rules : t -> Rule.t list -> t
+(** Same [ds]/[cr], different rules. *)
+
+val find_rule : t -> string -> Rule.t option
+(** By display name. *)
+
+(** {1 Reference semantics}
+
+    Direct evaluation of Table 2 on a tree.  This is the executable
+    specification the backends are tested against, not the production
+    path. *)
+
+val accessible_nodes : t -> Xmlac_xml.Tree.t -> Xmlac_xml.Tree.node list
+(** [\[\[P\]\](T)], in document order. *)
+
+val accessible_ids : t -> Xmlac_xml.Tree.t -> int list
+(** Ascending. *)
+
+val node_accessible : t -> Xmlac_xml.Tree.t -> Xmlac_xml.Tree.node -> bool
+
+val annotate_reference : t -> Xmlac_xml.Tree.t -> unit
+(** Stamps every node's sign slot with its accessibility — full
+    annotation by the specification. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+let effect_of_string = function
+  | "allow" -> Some Rule.Plus
+  | "deny" -> Some Rule.Minus
+  | _ -> None
+
+let strip s = String.trim s
+
+let split_first_word s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, strip (String.sub s i (String.length s - i)))
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let ds = ref None and cr = ref None in
+  let rules = ref [] in
+  let count = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then
+        let line = strip raw in
+        if line = "" || line.[0] = '#' then ()
+        else
+          let keyword, rest = split_first_word line in
+          let fail msg =
+            error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg)
+          in
+          match keyword with
+          | "default" -> (
+              match (!ds, effect_of_string rest) with
+              | Some _, _ -> fail "duplicate 'default'"
+              | None, Some e -> ds := Some e
+              | None, None -> fail "expected 'default allow' or 'default deny'")
+          | "conflict" -> (
+              match (!cr, effect_of_string rest) with
+              | Some _, _ -> fail "duplicate 'conflict'"
+              | None, Some e -> cr := Some e
+              | None, None -> fail "expected 'conflict allow' or 'conflict deny'")
+          | "allow" | "deny" -> (
+              let effect =
+                match effect_of_string keyword with
+                | Some e -> e
+                | None -> assert false
+              in
+              match Xmlac_xpath.Parser.parse rest with
+              | Ok resource ->
+                  incr count;
+                  rules :=
+                    Rule.make ~name:(Printf.sprintf "R%d" !count) ~resource effect
+                    :: !rules
+              | Error e ->
+                  fail
+                    (Format.asprintf "bad XPath %S (%a)" rest
+                       Xmlac_xpath.Parser.pp_error e))
+          | _ -> fail (Printf.sprintf "unknown keyword %S" keyword))
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      let ds = Option.value !ds ~default:Rule.Minus in
+      let cr = Option.value !cr ~default:Rule.Minus in
+      Ok (Policy.make ~ds ~cr (List.rev !rules))
+
+let parse_exn text =
+  match parse text with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Policy_io.parse: " ^ msg)
+
+let effect_word = function Rule.Plus -> "allow" | Rule.Minus -> "deny"
+
+let to_string policy =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "default %s\n" (effect_word (Policy.ds policy)));
+  Buffer.add_string buf
+    (Printf.sprintf "conflict %s\n" (effect_word (Policy.cr policy)));
+  List.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n"
+           (effect_word r.Rule.effect)
+           (Xmlac_xpath.Pp.expr_to_string r.Rule.resource)))
+    (Policy.rules policy);
+  Buffer.contents buf

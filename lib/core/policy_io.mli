@@ -1,0 +1,26 @@
+(** Textual policy files.
+
+    The paper's system reads policies from files ("we manually designed
+    policies ... several policy files"); this is our concrete syntax:
+
+    {[
+      # hospital ward policy
+      default deny
+      conflict deny
+      allow //patient
+      allow //patient/name
+      deny  //patient[treatment]
+      deny  //patient[.//experimental]
+      allow //regular
+    ]}
+
+    [default] and [conflict] each take [allow] or [deny] and may appear
+    at most once (both default to [deny], the common configuration);
+    every remaining non-comment line is [allow <xpath>] or
+    [deny <xpath>].  Rules are named R1, R2, ... in file order. *)
+
+val parse : string -> (Policy.t, string) result
+val parse_exn : string -> Policy.t
+
+val to_string : Policy.t -> string
+(** Round-trips through {!parse} (rule names are positional). *)

@@ -1,0 +1,95 @@
+module Tree = Xmlac_xml.Tree
+
+type stats = {
+  triggered : int list;
+  affected : int;
+  deleted_roots : int;
+  marked : int;
+}
+
+(* Per-rule scopes as id sets; the same evaluation feeds both the
+   affected-region computation and the restricted annotation query, so
+   each triggered rule is evaluated exactly once per document state
+   (once before the update, once after). *)
+let scopes (backend : Backend.t) rules =
+  List.map
+    (fun (r : Rule.t) ->
+      let set = Hashtbl.create 64 in
+      List.iter
+        (fun id -> Hashtbl.replace set id ())
+        (backend.Backend.eval_ids r.Rule.resource);
+      (r, set))
+    rules
+
+let union_into acc sets =
+  List.iter (fun (_, set) -> Hashtbl.iter (fun id () -> Hashtbl.replace acc id ()) set) sets
+
+(* The generic repair cycle: [touched] locates the nodes the mutation
+   inserts or deletes (the update expression of Section 5.3), [apply]
+   performs it and reports how many subtree roots it touched. *)
+let repair ?schema (backend : Backend.t) depend ~touched ~apply =
+  let policy = Depend.policy depend in
+  let trig = Trigger.run_all ?schema depend ~updates:touched in
+  let rules = Trigger.triggered_rules depend trig in
+  (* Scopes before the update: nodes that may fall out of scope. *)
+  let pre = scopes backend rules in
+  let deleted_roots = apply () in
+  (* Scopes after: nodes that may have entered scope; these also feed
+     the restricted annotation query below. *)
+  let post = scopes backend rules in
+  let affected = Hashtbl.create 256 in
+  union_into affected pre;
+  union_into affected post;
+  (* The restricted Annotation-Queries result, combined in set algebra
+     over the post-update scopes: primary-union minus secondary-union
+     with the signs of Figure 5. *)
+  let aq = Annotation_query.build (Policy.with_rules policy rules) in
+  let in_union rules_wanted id =
+    List.exists
+      (fun ((r : Rule.t), set) ->
+        Hashtbl.mem set id
+        && List.exists (fun e -> Xmlac_xpath.Ast.equal_expr e r.Rule.resource)
+             rules_wanted)
+      post
+  in
+  let primary = aq.Annotation_query.primary in
+  let secondary = aq.Annotation_query.secondary in
+  let in_answer id = in_union primary id && not (in_union secondary id) in
+  (* Partition the surviving affected region into nodes to mark with
+     the non-default sign and nodes to reset to the default. *)
+  let default = Policy.ds policy in
+  let mark_sign = aq.Annotation_query.mark in
+  let to_mark = ref [] and to_default = ref [] and live_affected = ref 0 in
+  Hashtbl.iter
+    (fun id () ->
+      (* Pre-update scopes may reference deleted nodes; skip them.
+         Also skip nodes whose sign is already right: the point of
+         re-annotation is to touch only "the nodes whose access
+         permission changed due to the update". *)
+      if backend.Backend.has_node id then begin
+        incr live_affected;
+        let current = Backend.effective_sign backend ~default id in
+        if in_answer id then begin
+          if current <> mark_sign then to_mark := id :: !to_mark
+        end
+        else if current <> default then to_default := id :: !to_default
+      end)
+    affected;
+  let _ = backend.Backend.set_sign_ids (List.rev !to_default) default in
+  let marked =
+    backend.Backend.set_sign_ids (List.rev !to_mark) aq.Annotation_query.mark
+  in
+  {
+    triggered = Trigger.all trig;
+    affected = !live_affected;
+    deleted_roots;
+    marked;
+  }
+
+let reannotate ?schema backend depend ~update =
+  repair ?schema backend depend ~touched:[ update ]
+    ~apply:(fun () -> backend.Backend.delete_update update)
+
+let full_reannotate (backend : Backend.t) policy ~update =
+  let _ = backend.Backend.delete_update update in
+  Annotator.annotate backend policy

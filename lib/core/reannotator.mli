@@ -1,0 +1,52 @@
+(** Partial re-annotation after a document update (Section 5.3).
+
+    The full pipeline: run {!Trigger} to find the rules whose scopes
+    the update may change; take the union of those rules' scopes both
+    {e before} and {e after} applying the update (before: nodes that
+    may fall out of scope; after: nodes that may enter it); reset the
+    surviving affected nodes to the default sign; rebuild the
+    annotation query {e restricted to the triggered rules}
+    (Annotation-Queries over the triggered subset, per the paper) and
+    stamp its answer intersected with the affected set.
+
+    Every other node keeps its annotation untouched — that asymmetry is
+    where the speedup over full annotation comes from.  With an
+    [Overlap]-mode dependency graph the result provably coincides with
+    annotating from scratch; with the published [Paper] mode it
+    coincides on the paper's policy classes (the property tests pin
+    both claims down). *)
+
+type stats = {
+  triggered : int list;  (** Triggered rule indices (with dependencies). *)
+  affected : int;  (** Affected nodes still live after the update. *)
+  deleted_roots : int;  (** Subtree roots removed by the update. *)
+  marked : int;  (** Nodes stamped with the non-default sign. *)
+}
+
+val reannotate :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  Backend.t ->
+  Depend.t ->
+  update:Xmlac_xpath.Ast.expr ->
+  stats
+(** Applies the (delete) update through the backend and repairs the
+    annotations.  [schema] controls trigger expansion, as in
+    {!Trigger.run}. *)
+
+val repair :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  Backend.t ->
+  Depend.t ->
+  touched:Xmlac_xpath.Ast.expr list ->
+  apply:(unit -> int) ->
+  stats
+(** The generic cycle behind {!reannotate}: [touched] lists the XPath
+    expressions locating the nodes the mutation inserts or deletes,
+    [apply] performs the mutation (returning the number of subtree
+    roots it touched).  Used by {!Engine.insert} to repair annotations
+    after grafting new subtrees. *)
+
+val full_reannotate :
+  Backend.t -> Policy.t -> update:Xmlac_xpath.Ast.expr -> Annotator.stats
+(** The baseline the paper compares against: apply the update, then
+    annotate the whole document from scratch. *)

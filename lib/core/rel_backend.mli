@@ -1,0 +1,13 @@
+(** Relational backend: every operation goes through SQL over the
+    shredded database — the PostgreSQL / MonetDB-SQL role.
+
+    Annotation updates follow the paper's Annotate algorithm
+    (Figure 6) literally: the annotation query's id set is intersected
+    with each table's ids, and each hit becomes an
+    [UPDATE t SET s = ... WHERE id = ...] statement through the
+    executor. *)
+
+val make : Xmlac_shrex.Mapping.t -> Xmlac_reldb.Database.t -> Backend.t
+(** The database must already contain the shredded document
+    ({!Xmlac_shrex.Shred.load}). The backend's name reflects the
+    database's storage engine: ["row-sql"] or ["column-sql"]. *)

@@ -1,0 +1,25 @@
+module Tree = Xmlac_xml.Tree
+
+type decision =
+  | Granted of int list
+  | Denied of { blocked : int }
+
+let request (backend : Backend.t) ~default expr =
+  let ids = backend.Backend.eval_ids expr in
+  let blocked =
+    List.length
+      (List.filter
+         (fun id -> Backend.effective_sign backend ~default id <> Tree.Plus)
+         ids)
+  in
+  if blocked = 0 then Granted ids else Denied { blocked }
+
+let request_string backend ~default s =
+  request backend ~default (Xmlac_xpath.Parser.parse_exn s)
+
+let is_granted = function Granted _ -> true | Denied _ -> false
+
+let pp ppf = function
+  | Granted ids -> Format.fprintf ppf "granted (%d node(s))" (List.length ids)
+  | Denied { blocked } ->
+      Format.fprintf ppf "denied (%d inaccessible node(s))" blocked

@@ -1,0 +1,24 @@
+(** The requester front-end (Section 4).
+
+    Read-only XPath queries are answered with all-or-nothing
+    semantics: if every node the query selects is accessible under the
+    materialized annotations, the nodes are returned; if any selected
+    node is inaccessible, the whole request is denied. *)
+
+type decision =
+  | Granted of int list  (** The selected node ids, ascending. *)
+  | Denied of { blocked : int }
+      (** At least one selected node is inaccessible; [blocked] counts
+          them. *)
+
+val request :
+  Backend.t -> default:Rule.effect -> Xmlac_xpath.Ast.expr -> decision
+(** [default] is the policy's default semantics, needed to interpret
+    unannotated nodes. An empty answer is granted (vacuously). *)
+
+val request_string :
+  Backend.t -> default:Rule.effect -> string -> decision
+(** Parses then requests. @raise Invalid_argument on parse errors. *)
+
+val is_granted : decision -> bool
+val pp : Format.formatter -> decision -> unit

@@ -1,0 +1,35 @@
+module Tree = Xmlac_xml.Tree
+module Xp = Xmlac_xpath
+
+type effect = Tree.sign = Plus | Minus
+
+let effect_to_string = Tree.sign_to_string
+let opposite = function Plus -> Minus | Minus -> Plus
+
+type t = {
+  name : string;
+  resource : Xp.Ast.expr;
+  effect : effect;
+}
+
+let make ?name ~resource effect =
+  let name =
+    match name with Some n -> n | None -> Xp.Pp.expr_to_string resource
+  in
+  { name; resource; effect }
+
+let parse ?name s effect = make ?name ~resource:(Xp.Parser.parse_exn s) effect
+
+let is_positive r = r.effect = Plus
+let is_negative r = r.effect = Minus
+
+let scope doc r = Xp.Eval.eval doc r.resource
+
+let in_scope doc r n = Xp.Eval.matches doc r.resource n
+
+let pp ppf r =
+  Format.fprintf ppf "%s: %s (%s)" r.name
+    (Xp.Pp.expr_to_string r.resource)
+    (effect_to_string r.effect)
+
+let equal a b = a.effect = b.effect && Xp.Ast.equal_expr a.resource b.resource

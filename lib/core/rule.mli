@@ -1,0 +1,42 @@
+(** Access control rules (Section 3).
+
+    A rule is a pair [(resource, effect)]: [resource] is an XPath
+    expression designating the nodes the rule concerns, [effect] grants
+    ([Plus]) or denies ([Minus]) access to them.  The paper fixes the
+    requester and action components and uses explicit node-only scope,
+    which is what this module models.  The effect type is shared with
+    the annotation sign — a deliberate identification: a rule's effect
+    {e is} the sign it stamps on the nodes in its scope. *)
+
+type effect = Xmlac_xml.Tree.sign = Plus | Minus
+
+val effect_to_string : effect -> string
+val opposite : effect -> effect
+
+type t = {
+  name : string;  (** Display name, e.g. "R3"; informational only. *)
+  resource : Xmlac_xpath.Ast.expr;
+  effect : effect;
+}
+
+val make : ?name:string -> resource:Xmlac_xpath.Ast.expr -> effect -> t
+(** [name] defaults to the printed resource. *)
+
+val parse : ?name:string -> string -> effect -> t
+(** Parses the resource.
+    @raise Invalid_argument on a malformed expression. *)
+
+val is_positive : t -> bool
+val is_negative : t -> bool
+
+val scope : Xmlac_xml.Tree.t -> t -> Xmlac_xml.Tree.node list
+(** The nodes of the document in the rule's scope:
+    [\[\[resource\]\](T)]. *)
+
+val in_scope : Xmlac_xml.Tree.t -> t -> Xmlac_xml.Tree.node -> bool
+
+val pp : Format.formatter -> t -> unit
+(** ["R3: //patient\[treatment\] (-)"]. *)
+
+val equal : t -> t -> bool
+(** Same resource (syntactically) and same effect; names ignored. *)

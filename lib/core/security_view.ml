@@ -1,0 +1,45 @@
+module Tree = Xmlac_xml.Tree
+
+type mode = Prune | Promote
+
+let materialize ?(mode = Promote) policy doc =
+  let accessible = Hashtbl.create 256 in
+  List.iter
+    (fun id -> Hashtbl.replace accessible id ())
+    (Policy.accessible_ids policy doc);
+  let ok (n : Tree.node) = Hashtbl.mem accessible n.Tree.id in
+  let root = Tree.root doc in
+  let view = Tree.create ~root_name:root.Tree.name in
+  let vroot = Tree.root view in
+  if ok root then Tree.set_value view vroot root.Tree.value;
+  (* [copy_under parent n] adds a copy of accessible node [n] (and the
+     visible part of its subtree) below [parent]. *)
+  let rec copy_under parent (n : Tree.node) =
+    let copy = Tree.add_child view parent n.Tree.name in
+    (match n.Tree.value with
+    | Some v -> Tree.set_value view copy (Some v)
+    | None -> ());
+    List.iter (fun c -> place copy c) n.Tree.children
+  (* [place parent c] decides what child [c] contributes below the
+     already-copied [parent]. *)
+  and place parent (c : Tree.node) =
+    if ok c then copy_under parent c
+    else
+      match mode with
+      | Prune -> () (* the whole subtree disappears *)
+      | Promote ->
+          (* skip [c], hoisting its visible descendants *)
+          List.iter (fun gc -> place parent gc) c.Tree.children
+  in
+  (match (ok root, mode) with
+  | true, _ -> List.iter (fun c -> place vroot c) root.Tree.children
+  | false, Prune -> ()
+  | false, Promote -> List.iter (fun c -> place vroot c) root.Tree.children);
+  view
+
+let visible_count ?mode policy doc =
+  let view = materialize ?mode policy doc in
+  let n = Tree.size view in
+  (* The placeholder root is not a represented source node when the
+     source root is inaccessible. *)
+  if Policy.node_accessible policy doc (Tree.root doc) then n else n - 1

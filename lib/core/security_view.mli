@@ -1,0 +1,30 @@
+(** Security views (related work of the paper: Fan et al. 2004, Kuper
+    et al. 2009).
+
+    A security view is the document a user is actually allowed to see:
+    the materialized alternative to annotations, mentioned by the paper
+    as the approach that avoids information leaks for read-only
+    policies.  Two classical constructions are provided:
+
+    - [`Prune]: keep a node iff it and {e all} its ancestors are
+      accessible — an inaccessible node hides its whole subtree, even
+      accessible descendants (no structural leak at all);
+    - [`Promote]: keep every accessible node; the accessible children
+      of an inaccessible node are promoted to its nearest kept
+      ancestor, preserving relative order (maximal information,
+      slightly distorted structure).
+
+    The view is a fresh document with fresh node ids; values of
+    inaccessible nodes never appear in it. *)
+
+type mode = Prune | Promote
+
+val materialize : ?mode:mode -> Policy.t -> Xmlac_xml.Tree.t -> Xmlac_xml.Tree.t
+(** Default mode is [Promote].  The view's root element always exists
+    (same name as the source root); when the source root itself is
+    inaccessible the view root is a hollow placeholder carrying neither
+    value nor, in [`Prune] mode, any children. *)
+
+val visible_count : ?mode:mode -> Policy.t -> Xmlac_xml.Tree.t -> int
+(** Number of source nodes represented in the view, not counting a
+    placeholder root. *)

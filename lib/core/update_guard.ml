@@ -1,0 +1,37 @@
+module Tree = Xmlac_xml.Tree
+open Xmlac_xpath.Ast
+
+type decision =
+  | Permitted of { targets : int }
+  | Refused of { blocked : int }
+
+let check_delete (backend : Backend.t) ~default expr =
+  let targets = backend.Backend.eval_ids expr in
+  (* The subtrees vanish too: close over descendants via expr//*. *)
+  let subtree_expr =
+    { steps = expr.steps @ [ step Descendant Wildcard ] }
+  in
+  let doomed =
+    List.sort_uniq Stdlib.compare
+      (targets @ backend.Backend.eval_ids subtree_expr)
+  in
+  let blocked =
+    List.length
+      (List.filter
+         (fun id -> Backend.effective_sign backend ~default id <> Tree.Plus)
+         doomed)
+  in
+  if blocked = 0 then Permitted { targets = List.length targets }
+  else Refused { blocked }
+
+let guarded_delete ?schema (backend : Backend.t) depend ~update =
+  let default = Policy.ds (Depend.policy depend) in
+  match check_delete backend ~default update with
+  | Permitted _ -> Ok (Reannotator.reannotate ?schema backend depend ~update)
+  | Refused _ as d -> Error d
+
+let pp ppf = function
+  | Permitted { targets } ->
+      Format.fprintf ppf "permitted (%d subtree(s))" targets
+  | Refused { blocked } ->
+      Format.fprintf ppf "refused (%d inaccessible node(s))" blocked

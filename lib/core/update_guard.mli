@@ -1,0 +1,29 @@
+(** Access control for update operations — the extension the paper
+    leaves as future work (Section 8).
+
+    A delete update is treated like a read request with all-or-nothing
+    semantics over everything it would destroy: the update is permitted
+    only when every node it selects {e and every node in their
+    subtrees} is currently accessible.  The subtree closure prevents an
+    update from deleting data its issuer is not even allowed to see. *)
+
+type decision =
+  | Permitted of { targets : int }
+      (** Subtree roots the update would remove. *)
+  | Refused of { blocked : int }
+      (** Inaccessible nodes among the would-be-deleted. *)
+
+val check_delete :
+  Backend.t -> default:Rule.effect -> Xmlac_xpath.Ast.expr -> decision
+(** Pure check; the document is not modified. *)
+
+val guarded_delete :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  Backend.t ->
+  Depend.t ->
+  update:Xmlac_xpath.Ast.expr ->
+  (Reannotator.stats, decision) result
+(** [check_delete], and on permission the update is applied with
+    partial re-annotation; [Error] carries the refusal. *)
+
+val pp : Format.formatter -> decision -> unit

@@ -1,0 +1,45 @@
+module Tree = Xmlac_xml.Tree
+module Xp = Xmlac_xpath
+
+let make doc : Backend.t =
+  let eval_ids e =
+    List.sort Stdlib.compare
+      (List.map (fun (n : Tree.node) -> n.Tree.id) (Xp.Eval.eval doc e))
+  in
+  {
+    Backend.name = "xquery";
+    eval_ids;
+    eval_annotation_query =
+      (fun q ->
+        List.map
+          (fun (n : Tree.node) -> n.Tree.id)
+          (Annotation_query.eval_native doc q));
+    set_sign_ids =
+      (fun ids sign ->
+        List.fold_left
+          (fun count id ->
+            match Tree.find doc id with
+            | Some n ->
+                Xmlac_xmldb.Store.annotate n sign;
+                count + 1
+            | None -> count)
+          0 ids);
+    reset_signs =
+      (fun ~default ->
+        (* The native store keeps only non-default annotations
+           (Section 5.2), so resetting means erasing them all. *)
+        ignore default;
+        Tree.clear_signs doc);
+    sign_of =
+      (fun id ->
+        match Tree.find doc id with
+        | Some n -> n.Tree.sign
+        | None -> None);
+    delete_update = (fun e -> Xmlac_xmldb.Update.delete doc e);
+    has_node = (fun id -> Tree.find doc id <> None);
+    live_ids =
+      (fun () ->
+        List.sort Stdlib.compare
+          (List.map (fun (n : Tree.node) -> n.Tree.id) (Tree.nodes doc)));
+    node_count = (fun () -> Tree.size doc);
+  }

@@ -1,0 +1,5 @@
+(** Native XML backend: direct XPath evaluation and in-place sign
+    mutation over one document — the MonetDB/XQuery role. *)
+
+val make : Xmlac_xml.Tree.t -> Backend.t
+(** The backend operates on the document in place. *)

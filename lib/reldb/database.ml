@@ -1,0 +1,33 @@
+type t = {
+  engine : Table.engine;
+  by_name : (string, Table.t) Hashtbl.t;
+  mutable order : string list; (* reversed creation order *)
+  mutable wal : Wal.t option;
+}
+
+let create engine =
+  { engine; by_name = Hashtbl.create 32; order = []; wal = None }
+
+let engine t = t.engine
+
+let set_wal t wal = t.wal <- wal
+let wal t = t.wal
+
+let create_table t schema =
+  let name = schema.Schema.table_name in
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Database.create_table: duplicate %s" name);
+  let table = Table.create t.engine schema in
+  Hashtbl.replace t.by_name name table;
+  t.order <- name :: t.order;
+  table
+
+let table t name = Hashtbl.find t.by_name name
+let table_opt t name = Hashtbl.find_opt t.by_name name
+
+let tables t = List.rev_map (Hashtbl.find t.by_name) t.order
+
+let total_tuples t =
+  List.fold_left (fun acc tb -> acc + Table.live_count tb) 0 (tables t)
+
+let schema t = List.map Table.schema (tables t)

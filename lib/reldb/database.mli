@@ -1,0 +1,27 @@
+(** A named collection of tables sharing one storage engine. *)
+
+type t
+
+val create : Table.engine -> t
+val engine : t -> Table.engine
+
+val set_wal : t -> Wal.t option -> unit
+(** When a WAL is attached, the executor journals every data-modifying
+    statement through it (see {!Wal}). Detached by default. *)
+
+val wal : t -> Wal.t option
+
+val create_table : t -> Schema.table -> Table.t
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val table : t -> string -> Table.t
+(** @raise Not_found for unknown tables. *)
+
+val table_opt : t -> string -> Table.t option
+val tables : t -> Table.t list
+(** In creation order. *)
+
+val total_tuples : t -> int
+(** Live tuples across all tables. *)
+
+val schema : t -> Schema.t

@@ -1,0 +1,369 @@
+open Sql
+
+type row = Value.t array
+
+(* Bindings during join evaluation: alias -> (table, live row offset). *)
+type binding = { btable : Table.t; mutable brow : int; mutable bound : bool }
+
+let scalar_value env = function
+  | Const v -> v
+  | Col c ->
+      let b = Hashtbl.find env c.alias in
+      let column = Schema.column_index (Table.schema b.btable) c.column in
+      Table.get b.btable ~row:b.brow ~column
+
+let scalar_refs = function Col c -> [ c.alias ] | Const _ -> []
+
+let pred_refs = function
+  | Cmp { lhs; rhs; _ } -> scalar_refs lhs @ scalar_refs rhs
+  | Is_null c | Not_null c -> [ c.alias ]
+
+let pred_holds env = function
+  | Cmp { lhs; op; rhs } ->
+      Value.cmp_holds op (scalar_value env lhs) (scalar_value env rhs)
+  | Is_null c -> scalar_value env (Col c) = Value.Null
+  | Not_null c -> scalar_value env (Col c) <> Value.Null
+
+(* Index access choice for binding [alias], given already-bound
+   aliases: an equality conjunct [alias.id = x] or [alias.pid = x]
+   where [x] is a constant or a bound column. *)
+type access =
+  | Via_id of scalar
+  | Via_pid of scalar
+  | Scan
+
+(* Compiled form: scalars resolved to readers. *)
+type access' =
+  | Via_id' of (unit -> Value.t)
+  | Via_pid' of (unit -> Value.t)
+  | Scan'
+
+let choose_access preds alias bound_aliases =
+  let usable x =
+    match x with
+    | Const _ -> true
+    | Col c -> List.mem c.alias bound_aliases
+  in
+  let rec go best = function
+    | [] -> best
+    | p :: rest ->
+        let candidate =
+          match p with
+          | Is_null _ | Not_null _ -> None
+          | Cmp { op; _ } when op <> Value.Eq -> None
+          | Cmp { lhs; rhs; _ } -> (
+              match (lhs, rhs) with
+              | Col c, x when c.alias = alias && usable x ->
+                  if c.column = "id" then Some (Via_id x)
+                  else if c.column = "pid" then Some (Via_pid x)
+                  else None
+              | x, Col c when c.alias = alias && usable x ->
+                  if c.column = "id" then Some (Via_id x)
+                  else if c.column = "pid" then Some (Via_pid x)
+                  else None
+              | _ -> None)
+        in
+        (match (best, candidate) with
+        | _, Some (Via_id _ as a) -> a (* id index is unique: best *)
+        | Scan, Some a -> go a rest
+        | best, _ -> go best rest)
+  in
+  go Scan preds
+
+(* Select evaluation compiles the query once — aliases to array slots,
+   column names to indexes — so the inner join loops only do array
+   reads and integer arithmetic. *)
+let run_select db (s : select) =
+  let aliases = Array.of_list (List.map (fun r -> r.as_alias) s.from) in
+  let tables =
+    Array.of_list (List.map (fun r -> Database.table db r.table) s.from)
+  in
+  let n = Array.length aliases in
+  (if
+     Array.length
+       (Array.of_list (List.sort_uniq String.compare (Array.to_list aliases)))
+     <> n
+   then invalid_arg "Executor: duplicate alias");
+  let position a =
+    let rec go i =
+      if i = n then invalid_arg ("Executor: unknown alias " ^ a)
+      else if String.equal aliases.(i) a then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* Current row offsets per alias slot. *)
+  let rows = Array.make n (-1) in
+  (* A scalar compiled to a reader over [rows]. *)
+  let compile_scalar = function
+    | Const v -> fun () -> v
+    | Col c ->
+        let ai = position c.alias in
+        let ci = Schema.column_index (Table.schema tables.(ai)) c.column in
+        fun () -> Table.get tables.(ai) ~row:rows.(ai) ~column:ci
+  in
+  let compile_pred = function
+    | Cmp { lhs; op; rhs } ->
+        let l = compile_scalar lhs and r = compile_scalar rhs in
+        fun () -> Value.cmp_holds op (l ()) (r ())
+    | Is_null c ->
+        let l = compile_scalar (Col c) in
+        fun () -> l () = Value.Null
+    | Not_null c ->
+        let l = compile_scalar (Col c) in
+        fun () -> l () <> Value.Null
+  in
+  (* Predicates become checkable once all their aliases are bound; each
+     is attached to the last alias of the FROM order it mentions. *)
+  let attach_at p =
+    match pred_refs p with
+    | [] -> 0
+    | refs -> List.fold_left (fun m a -> max m (position a)) 0 refs
+  in
+  let checks = Array.make n [] in
+  List.iter
+    (fun p -> checks.(attach_at p) <- compile_pred p :: checks.(attach_at p))
+    s.where;
+  (* Index access per slot, decided at plan time. *)
+  let accesses =
+    Array.init n (fun i ->
+        let raw =
+          List.filter (fun p -> attach_at p = i) s.where
+        in
+        match
+          choose_access raw aliases.(i)
+            (Array.to_list (Array.sub aliases 0 i))
+        with
+        | Via_id x -> Via_id' (compile_scalar x)
+        | Via_pid x -> Via_pid' (compile_scalar x)
+        | Scan -> Scan')
+  in
+  let proj = Array.of_list (List.map (fun c -> compile_scalar (Col c)) s.proj) in
+  (* Existential blocks.  The translated EXISTS qualifiers of XPath
+     become groups of joined aliases that are never projected and never
+     referenced after the group; enumerating more than one witness per
+     group multiplies duplicate result rows — quadratically once a
+     10^4-row qualifier chain sits next to a 10^4-row spine.  A
+     contiguous run [i..j] of aliases forms a block when it is a
+     connected component of the "shares a predicate among unbound
+     aliases" graph containing no projected alias; the block is then
+     evaluated as a single EXISTS: first witness wins. *)
+  let projected = Array.make n false in
+  List.iter (fun (c : col) -> projected.(position c.alias) <- true) s.proj;
+  let connected i j =
+    (* Do aliases i and j co-occur in some predicate? *)
+    List.exists
+      (fun p ->
+        let refs = List.map position (pred_refs p) in
+        List.mem i refs && List.mem j refs)
+      s.where
+  in
+  let block_end = Array.make n None in
+  let start = ref 0 in
+  while !start < n do
+    let i = !start in
+    (* Grow the component of [i] within the aliases not yet assigned to
+       earlier blocks. *)
+    let in_comp = Array.make n false in
+    in_comp.(i) <- true;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for a = i to n - 1 do
+        if in_comp.(a) then
+          for b = i to n - 1 do
+            if (not in_comp.(b)) && connected a b then begin
+              in_comp.(b) <- true;
+              changed := true
+            end
+          done
+      done
+    done;
+    let members = ref [] in
+    for a = n - 1 downto i do
+      if in_comp.(a) then members := a :: !members
+    done;
+    let j = List.fold_left max i !members in
+    let contiguous = List.length !members = j - i + 1 in
+    let any_projected = List.exists (fun a -> projected.(a)) !members in
+    if contiguous && not any_projected then begin
+      block_end.(i) <- Some j;
+      start := j + 1
+    end
+    else start := i + 1
+  done;
+  let results = ref [] in
+  let emit () = results := Array.map (fun f -> f ()) proj :: !results in
+  let satisfied i row =
+    rows.(i) <- row;
+    List.for_all (fun check -> check ()) checks.(i)
+  in
+  let for_each i f =
+    let table = tables.(i) in
+    match accesses.(i) with
+    | Via_id' x -> (
+        match x () with
+        | Value.Int id -> (
+            match Table.find_by_id table id with
+            | Some row -> f row
+            | None -> ())
+        | _ -> ())
+    | Via_pid' x -> (
+        match x () with
+        | Value.Int id -> List.iter f (Table.rows_by_pid table id)
+        | _ -> ())
+    | Scan' -> Table.iter_live table f
+  in
+  let exception Witness in
+  let rec bind i =
+    if i = n then emit ()
+    else
+      match block_end.(i) with
+      | None -> for_each i (fun row -> if satisfied i row then bind (i + 1))
+      | Some j ->
+          (* EXISTS over the block [i..j]: stop at the first full
+             witness; its bindings are dead after the block. *)
+          let rec witness k =
+            if k > j then raise Witness
+            else for_each k (fun row -> if satisfied k row then witness (k + 1))
+          in
+          (try witness i with Witness -> bind (j + 1))
+  in
+  if n = 0 then emit () else bind 0;
+  !results
+
+let dedup rows =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (r : row) ->
+      let key = Array.to_list r in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    rows
+
+let rec run_query db = function
+  | Select s -> run_select db s
+  | Union (a, b) -> dedup (run_query db a @ run_query db b)
+  | Except (a, b) ->
+      let excluded = Hashtbl.create 64 in
+      List.iter
+        (fun (r : row) -> Hashtbl.replace excluded (Array.to_list r) ())
+        (run_query db b);
+      dedup
+        (List.filter
+           (fun (r : row) -> not (Hashtbl.mem excluded (Array.to_list r)))
+           (run_query db a))
+  | Intersect (a, b) ->
+      let present = Hashtbl.create 64 in
+      List.iter
+        (fun (r : row) -> Hashtbl.replace present (Array.to_list r) ())
+        (run_query db b);
+      dedup
+        (List.filter
+           (fun (r : row) -> Hashtbl.mem present (Array.to_list r))
+           (run_query db a))
+
+let query_ids db q =
+  let rows = run_query db q in
+  let ids =
+    List.map
+      (fun (r : row) ->
+        if Array.length r = 0 then
+          invalid_arg "Executor.query_ids: empty projection";
+        match r.(0) with
+        | Value.Int id -> id
+        | v ->
+            invalid_arg
+              (Printf.sprintf "Executor.query_ids: non-integer %s"
+                 (Value.to_literal v)))
+      rows
+  in
+  List.sort_uniq Stdlib.compare ids
+
+(* Single-table WHERE evaluation for UPDATE/DELETE: predicates refer to
+   bare columns through an alias equal to the table name. *)
+let matching_rows db table_name where =
+  let table = Database.table db table_name in
+  let env = Hashtbl.create 1 in
+  let b = { btable = table; brow = -1; bound = false } in
+  Hashtbl.replace env table_name b;
+  let id_const =
+    List.find_map
+      (fun p ->
+        match p with
+        | Cmp { lhs; op = Value.Eq; rhs } -> (
+            match (lhs, rhs) with
+            | Col { column = "id"; _ }, Const (Value.Int id)
+            | Const (Value.Int id), Col { column = "id"; _ } ->
+                Some id
+            | _ -> None)
+        | _ -> None)
+      where
+  in
+  let holds row =
+    b.brow <- row;
+    List.for_all (pred_holds env) where
+  in
+  match id_const with
+  | Some id -> (
+      match Table.find_by_id table id with
+      | Some row when holds row -> [ row ]
+      | _ -> [])
+  | None ->
+      let acc = ref [] in
+      Table.iter_live table (fun row -> if holds row then acc := row :: !acc);
+      List.rev !acc
+
+(* Journaling model: a row store commits one record per statement; a
+   column store materializes one delta per column touched by an insert
+   (MonetDB-style BAT appends), which is what makes its per-INSERT
+   loading measurably more expensive in the paper's Figure 9. *)
+let journal db stmt =
+  match Database.wal db with
+  | None -> ()
+  | Some wal -> (
+      match (stmt, Database.engine db) with
+      | Insert { table; values }, Table.Column ->
+          List.iter
+            (fun v -> Wal.log wal (table ^ ":" ^ Value.to_literal v))
+            values
+      | _ -> Wal.log wal (Sql.stmt_to_string stmt))
+
+let run_stmt db stmt =
+  journal db stmt;
+  match stmt with
+  | Insert { table; values } ->
+      Table.insert (Database.table db table) (Array.of_list values);
+      1
+  | Update { table; set; where } ->
+      let t = Database.table db table in
+      let schema = Table.schema t in
+      let sets =
+        List.map (fun (c, v) -> (Schema.column_index schema c, v)) set
+      in
+      let rows = matching_rows db table where in
+      List.iter
+        (fun row ->
+          List.iter (fun (column, v) -> Table.update t ~row ~column v) sets)
+        rows;
+      List.length rows
+  | Delete { table; where } ->
+      let t = Database.table db table in
+      let id_col = Schema.column_index (Table.schema t) "id" in
+      let rows = matching_rows db table where in
+      let ids =
+        List.filter_map
+          (fun row ->
+            match Table.get t ~row ~column:id_col with
+            | Value.Int id -> Some id
+            | _ -> None)
+          rows
+      in
+      List.iter (fun id -> ignore (Table.delete_by_id t id)) ids;
+      List.length ids
+
+let run_script db stmts =
+  List.fold_left (fun acc s -> acc + run_stmt db s) 0 stmts

@@ -1,0 +1,33 @@
+(** Query and statement evaluation.
+
+    Selects are evaluated by nested-loop joins accelerated with the
+    id/pid hash indexes — the translated XPath queries are chains of
+    parent/child equijoins (Section 5.2), which this planner turns into
+    index walks.  UNION / EXCEPT / INTERSECT follow SQL set semantics
+    (duplicates eliminated), exactly what Annotation-Queries relies
+    on. *)
+
+type row = Value.t array
+
+val run_query : Database.t -> Sql.query -> row list
+(** Rows in no particular order; set operations deduplicate.
+
+    Distinctness caveat: aliases that are neither projected nor
+    referenced by later predicates are treated as EXISTS witnesses
+    (first match wins), so result multiplicities follow
+    [SELECT DISTINCT] rather than SQL bag semantics.  Every query the
+    ShreX translation emits projects node ids and is consumed through
+    {!query_ids}, for which the two semantics coincide. *)
+
+val query_ids : Database.t -> Sql.query -> int list
+(** First projected column of every result row as ids, ascending,
+    deduplicated. Non-integer values raise [Invalid_argument]. *)
+
+val run_stmt : Database.t -> Sql.stmt -> int
+(** Executes a statement, returning the number of affected rows.
+    UPDATE and DELETE recognize [id = const] conjuncts and use the
+    primary index.  When the database has a WAL attached
+    ({!Database.set_wal}), the statement text is journaled first. *)
+
+val run_script : Database.t -> Sql.stmt list -> int
+(** Total affected rows. *)

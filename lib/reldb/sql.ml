@@ -1,0 +1,102 @@
+type col = { alias : string; column : string }
+
+type scalar = Col of col | Const of Value.t
+
+type pred =
+  | Cmp of { lhs : scalar; op : Value.cmp; rhs : scalar }
+  | Is_null of col
+  | Not_null of col
+
+type table_ref = { table : string; as_alias : string }
+
+type select = {
+  proj : col list;
+  from : table_ref list;
+  where : pred list;
+}
+
+type query =
+  | Select of query_select
+  | Union of query * query
+  | Except of query * query
+  | Intersect of query * query
+
+and query_select = select
+
+type stmt =
+  | Insert of { table : string; values : Value.t list }
+  | Update of { table : string; set : (string * Value.t) list; where : pred list }
+  | Delete of { table : string; where : pred list }
+
+let col alias column = { alias; column }
+let eq lhs rhs = Cmp { lhs; op = Value.Eq; rhs }
+
+let col_to_string c = c.alias ^ "." ^ c.column
+
+let scalar_to_string = function
+  | Col c -> col_to_string c
+  | Const v -> Value.to_literal v
+
+let pred_to_string = function
+  | Cmp { lhs; op; rhs } ->
+      Printf.sprintf "%s %s %s" (scalar_to_string lhs)
+        (Value.cmp_to_string op) (scalar_to_string rhs)
+  | Is_null c -> col_to_string c ^ " IS NULL"
+  | Not_null c -> col_to_string c ^ " IS NOT NULL"
+
+let select_to_string s =
+  let proj =
+    match s.proj with
+    | [] -> "*"
+    | cols -> String.concat ", " (List.map col_to_string cols)
+  in
+  let from =
+    String.concat ", "
+      (List.map (fun r -> r.table ^ " " ^ r.as_alias) s.from)
+  in
+  let where =
+    match s.where with
+    | [] -> ""
+    | ps -> " WHERE " ^ String.concat " AND " (List.map pred_to_string ps)
+  in
+  Printf.sprintf "SELECT %s FROM %s%s" proj from where
+
+let rec query_to_string = function
+  | Select s -> select_to_string s
+  | Union (a, b) ->
+      Printf.sprintf "(%s UNION %s)" (query_to_string a) (query_to_string b)
+  | Except (a, b) ->
+      Printf.sprintf "(%s EXCEPT %s)" (query_to_string a) (query_to_string b)
+  | Intersect (a, b) ->
+      Printf.sprintf "(%s INTERSECT %s)" (query_to_string a) (query_to_string b)
+
+let stmt_to_string = function
+  | Insert { table; values } ->
+      Printf.sprintf "INSERT INTO %s VALUES (%s);" table
+        (String.concat ", " (List.map Value.to_literal values))
+  | Update { table; set; where } ->
+      let sets =
+        String.concat ", "
+          (List.map (fun (c, v) -> c ^ " = " ^ Value.to_literal v) set)
+      in
+      let w =
+        match where with
+        | [] -> ""
+        | ps -> " WHERE " ^ String.concat " AND " (List.map pred_to_string ps)
+      in
+      Printf.sprintf "UPDATE %s SET %s%s;" table sets w
+  | Delete { table; where } ->
+      let w =
+        match where with
+        | [] -> ""
+        | ps -> " WHERE " ^ String.concat " AND " (List.map pred_to_string ps)
+      in
+      Printf.sprintf "DELETE FROM %s%s;" table w
+
+let pp_query ppf q = Format.pp_print_string ppf (query_to_string q)
+let pp_stmt ppf s = Format.pp_print_string ppf (stmt_to_string s)
+
+let rec select_tables = function
+  | Select s -> List.map (fun r -> r.table) s.from
+  | Union (a, b) | Except (a, b) | Intersect (a, b) ->
+      List.sort_uniq String.compare (select_tables a @ select_tables b)

@@ -1,0 +1,138 @@
+let render_script stmts =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Sql.stmt_to_string s);
+      Buffer.add_char buf '\n')
+    stmts;
+  Buffer.contents buf
+
+let script_size stmts =
+  List.fold_left
+    (fun acc s -> acc + String.length (Sql.stmt_to_string s) + 1)
+    0 stmts
+
+type state = { input : string; mutable pos : int }
+
+let parse_script input =
+  let st = { input; pos = 0 } in
+  let len = String.length input in
+  let eof () = st.pos >= len in
+  let peek () = if eof () then '\000' else input.[st.pos] in
+  let skip_spaces () =
+    while
+      (not (eof ()))
+      && (match peek () with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      st.pos <- st.pos + 1
+    done
+  in
+  let expect_kw kw =
+    skip_spaces ();
+    let n = String.length kw in
+    if st.pos + n <= len && String.uppercase_ascii (String.sub input st.pos n) = kw
+    then begin
+      st.pos <- st.pos + n;
+      true
+    end
+    else false
+  in
+  let parse_ident () =
+    skip_spaces ();
+    let start = st.pos in
+    while
+      (not (eof ()))
+      && (match peek () with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+         | _ -> false)
+    do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = start then None else Some (String.sub input start (st.pos - start))
+  in
+  let parse_value () =
+    skip_spaces ();
+    match peek () with
+    | '\'' ->
+        st.pos <- st.pos + 1;
+        let buf = Buffer.create 16 in
+        let rec loop () =
+          if eof () then Error "unterminated string literal"
+          else
+            match peek () with
+            | '\'' ->
+                st.pos <- st.pos + 1;
+                if peek () = '\'' then begin
+                  Buffer.add_char buf '\'';
+                  st.pos <- st.pos + 1;
+                  loop ()
+                end
+                else Ok (Value.Str (Buffer.contents buf))
+            | c ->
+                Buffer.add_char buf c;
+                st.pos <- st.pos + 1;
+                loop ()
+        in
+        loop ()
+    | 'N' | 'n' ->
+        if expect_kw "NULL" then Ok Value.Null else Error "expected NULL"
+    | '-' | '0' .. '9' ->
+        let start = st.pos in
+        if peek () = '-' then st.pos <- st.pos + 1;
+        while (not (eof ())) && (match peek () with '0' .. '9' -> true | _ -> false) do
+          st.pos <- st.pos + 1
+        done;
+        let text = String.sub input start (st.pos - start) in
+        (match int_of_string_opt text with
+        | Some i -> Ok (Value.Int i)
+        | None -> Error ("bad integer " ^ text))
+    | c -> Error (Printf.sprintf "unexpected character %C in value" c)
+  in
+  let rec parse_values acc =
+    match parse_value () with
+    | Error _ as e -> e
+    | Ok v -> (
+        skip_spaces ();
+        match peek () with
+        | ',' ->
+            st.pos <- st.pos + 1;
+            parse_values (v :: acc)
+        | ')' ->
+            st.pos <- st.pos + 1;
+            Ok (List.rev (v :: acc))
+        | c -> Error (Printf.sprintf "expected ',' or ')', found %C" c))
+  in
+  let rec loop acc =
+    skip_spaces ();
+    if eof () then Ok (List.rev acc)
+    else if expect_kw "INSERT" then
+      if not (expect_kw "INTO") then Error "expected INTO"
+      else
+        match parse_ident () with
+        | None -> Error "expected a table name"
+        | Some table ->
+            if not (expect_kw "VALUES") then Error "expected VALUES"
+            else begin
+              skip_spaces ();
+              if peek () <> '(' then Error "expected '('"
+              else begin
+                st.pos <- st.pos + 1;
+                match parse_values [] with
+                | Error _ as e -> e
+                | Ok values ->
+                    skip_spaces ();
+                    if peek () = ';' then begin
+                      st.pos <- st.pos + 1;
+                      loop (Sql.Insert { table; values } :: acc)
+                    end
+                    else Error "expected ';'"
+              end
+            end
+    else Error (Printf.sprintf "expected INSERT at offset %d" st.pos)
+  in
+  loop []
+
+let parse_script_exn input =
+  match parse_script input with
+  | Ok stmts -> stmts
+  | Error m -> invalid_arg ("Sql_text.parse_script: " ^ m)

@@ -1,0 +1,20 @@
+(** SQL script text: the on-disk form of a shredded document.
+
+    The paper measures (Table 5) the size of "text files containing SQL
+    INSERT statements representing the data" and (Figure 9) the time
+    needed to run those files against a database.  This module renders
+    and re-parses exactly that dialect: one [INSERT INTO t VALUES
+    (...);] per tuple, integers, single-quoted strings with doubled
+    quotes, and NULL. *)
+
+val render_script : Sql.stmt list -> string
+(** One statement per line. *)
+
+val script_size : Sql.stmt list -> int
+(** Byte size of [render_script] without materializing it. *)
+
+val parse_script : string -> (Sql.stmt list, string) result
+(** Parses a script of INSERT statements (other statement kinds are
+    rejected — loading scripts contain only inserts). *)
+
+val parse_script_exn : string -> Sql.stmt list

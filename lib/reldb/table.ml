@@ -1,0 +1,155 @@
+module Vec = Xmlac_util.Vec
+
+type engine = Row | Column
+
+let engine_to_string = function Row -> "row" | Column -> "column"
+
+(* Column stores maintain per-column properties (min/max/null count —
+   MonetDB's BAT properties, a column store's zone maps); keeping them
+   current is part of every append's cost. *)
+type col_stats = {
+  mutable vmin : Value.t option;
+  mutable vmax : Value.t option;
+  mutable nulls : int;
+}
+
+type storage =
+  | Rows of Value.t array Vec.t
+  | Columns of Value.t Vec.t array * col_stats array
+
+type t = {
+  schema : Schema.table;
+  engine : engine;
+  storage : storage;
+  id_col : int;
+  pid_col : int option;
+  live : bool Vec.t; (* tombstones *)
+  by_id : (int, int) Hashtbl.t; (* id -> row offset *)
+  by_pid : (int, int list) Hashtbl.t; (* pid -> row offsets, reversed *)
+}
+
+let create engine schema =
+  let storage =
+    match engine with
+    | Row -> Rows (Vec.create ~dummy:[||] ())
+    | Column ->
+        let arity = Schema.arity schema in
+        Columns
+          ( Array.init arity (fun _ -> Vec.create ~dummy:Value.Null ()),
+            Array.init arity (fun _ -> { vmin = None; vmax = None; nulls = 0 })
+          )
+  in
+  {
+    schema;
+    engine;
+    storage;
+    id_col = Schema.column_index schema "id";
+    pid_col = (try Some (Schema.column_index schema "pid") with Not_found -> None);
+    live = Vec.create ~dummy:false ();
+    by_id = Hashtbl.create 64;
+    by_pid = Hashtbl.create 64;
+  }
+
+let schema t = t.schema
+let engine t = t.engine
+let name t = t.schema.Schema.table_name
+
+let physical_count t =
+  match t.storage with
+  | Rows rows -> Vec.length rows
+  | Columns (cols, _) -> Vec.length cols.(0)
+
+let get t ~row ~column =
+  match t.storage with
+  | Rows rows -> (Vec.get rows row).(column)
+  | Columns (cols, _) -> Vec.get cols.(column) row
+
+let update_stats stats v =
+  match v with
+  | Value.Null -> stats.nulls <- stats.nulls + 1
+  | _ ->
+      (match stats.vmin with
+      | None -> stats.vmin <- Some v
+      | Some m -> if Value.compare v m < 0 then stats.vmin <- Some v);
+      (match stats.vmax with
+      | None -> stats.vmax <- Some v
+      | Some m -> if Value.compare v m > 0 then stats.vmax <- Some v)
+
+let insert t values =
+  if Array.length values <> Schema.arity t.schema then
+    invalid_arg
+      (Printf.sprintf "Table.insert %s: arity mismatch" (name t));
+  let id =
+    match values.(t.id_col) with
+    | Value.Int id -> id
+    | _ -> invalid_arg (Printf.sprintf "Table.insert %s: non-integer id" (name t))
+  in
+  if Hashtbl.mem t.by_id id then
+    invalid_arg (Printf.sprintf "Table.insert %s: duplicate id %d" (name t) id);
+  let row = physical_count t in
+  (match t.storage with
+  | Rows rows -> Vec.push rows (Array.copy values)
+  | Columns (cols, stats) ->
+      Array.iteri
+        (fun i col ->
+          Vec.push col values.(i);
+          update_stats stats.(i) values.(i))
+        cols);
+  Vec.push t.live true;
+  Hashtbl.replace t.by_id id row;
+  match t.pid_col with
+  | None -> ()
+  | Some pc -> (
+      match values.(pc) with
+      | Value.Int pid ->
+          let cur =
+            match Hashtbl.find_opt t.by_pid pid with
+            | None -> []
+            | Some l -> l
+          in
+          Hashtbl.replace t.by_pid pid (row :: cur)
+      | _ -> ())
+
+let live_count t = Hashtbl.length t.by_id
+
+let is_live t row = Vec.get t.live row
+
+let iter_live t f =
+  for row = 0 to physical_count t - 1 do
+    if is_live t row then f row
+  done
+
+let find_by_id t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some row when is_live t row -> Some row
+  | _ -> None
+
+let rows_by_pid t pid =
+  match Hashtbl.find_opt t.by_pid pid with
+  | None -> []
+  | Some rows -> List.rev (List.filter (is_live t) rows)
+
+let update t ~row ~column v =
+  if column = t.id_col || Some column = t.pid_col then
+    invalid_arg "Table.update: id/pid columns are immutable";
+  match t.storage with
+  | Rows rows -> (Vec.get rows row).(column) <- v
+  | Columns (cols, stats) ->
+      Vec.set cols.(column) row v;
+      update_stats stats.(column) v
+
+let delete_by_id t id =
+  match find_by_id t id with
+  | None -> false
+  | Some row ->
+      Vec.set t.live row false;
+      Hashtbl.remove t.by_id id;
+      true
+
+let ids t =
+  let acc = ref [] in
+  iter_live t (fun row ->
+      match get t ~row ~column:t.id_col with
+      | Value.Int id -> acc := id :: !acc
+      | _ -> ());
+  List.sort Stdlib.compare !acc

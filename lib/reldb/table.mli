@@ -1,0 +1,60 @@
+(** Physical tables with two storage engines.
+
+    [Row] keeps one value array per tuple, appended to a growable
+    vector — the PostgreSQL-like profile of the paper's evaluation:
+    cheap single-tuple inserts, row-at-a-time scans.
+    [Column] keeps one growable vector per column — the
+    MonetDB/SQL-like profile: each insert touches every column vector
+    (more expensive per tuple), while scans and joins that read few
+    columns stream through contiguous memory.
+
+    Both engines maintain a hash index on [id] (unique) and, when the
+    table has a [pid] column, a multimap index on [pid]; the executor
+    uses them for parent/child joins.  Deletion is by tombstone so that
+    row offsets stay stable. *)
+
+type engine = Row | Column
+
+val engine_to_string : engine -> string
+
+type t
+
+val create : engine -> Schema.table -> t
+
+val schema : t -> Schema.table
+val engine : t -> engine
+val name : t -> string
+
+val insert : t -> Value.t array -> unit
+(** The array must follow the schema's column order; its [id] must be
+    an [Int] not already present. Raises [Invalid_argument]
+    otherwise. *)
+
+val live_count : t -> int
+(** Number of non-deleted tuples. *)
+
+val get : t -> row:int -> column:int -> Value.t
+(** Physical access; the row must be live. *)
+
+val iter_live : t -> (int -> unit) -> unit
+(** Calls the function with every live row offset, in insertion
+    order. *)
+
+val find_by_id : t -> int -> int option
+(** Live row offset holding the given id. *)
+
+val rows_by_pid : t -> int -> int list
+(** Live row offsets whose [pid] equals the given id; empty when the
+    table has no [pid] column. *)
+
+val update : t -> row:int -> column:int -> Value.t -> unit
+(** In-place update. Updating [id] or [pid] raises
+    [Invalid_argument] (indexes would go stale; the paper's pipeline
+    never needs it). *)
+
+val delete_by_id : t -> int -> bool
+(** Tombstones the tuple with the given id; returns whether it
+    existed. *)
+
+val ids : t -> int list
+(** All live ids, ascending. *)

@@ -1,0 +1,67 @@
+type t = Null | Int of int | Str of string
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Str x, Str y -> String.equal x y
+  | (Null | Int _ | Str _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+  | Str x, Str y -> String.compare x y
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* The string forms feeding the dual numeric/lexicographic comparison
+   used on the XPath side. *)
+let scalar_compare a b =
+  let as_strings x =
+    match x with Int i -> string_of_int i | Str s -> s | Null -> assert false
+  in
+  let sa = as_strings a and sb = as_strings b in
+  match (float_of_string_opt sa, float_of_string_opt sb) with
+  | Some x, Some y -> Stdlib.compare x y
+  | _ -> String.compare sa sb
+
+let cmp_holds op a b =
+  match (a, b) with
+  | Null, _ | _, Null -> false
+  | _ ->
+      let c = scalar_compare a b in
+      (match op with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0)
+
+let to_literal = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Str s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_literal v)

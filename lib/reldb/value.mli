@@ -1,0 +1,27 @@
+(** SQL values.
+
+    The shredded representation only needs integers (universal ids),
+    strings (node values, signs) and NULL (the root's missing parent);
+    see Table 4 of the paper. *)
+
+type t = Null | Int of int | Str of string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order used for sorting and set operations: Null < Int < Str;
+    ints numerically, strings lexicographically. *)
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+val cmp_to_string : cmp -> string
+
+val cmp_holds : cmp -> t -> t -> bool
+(** SQL-style comparison: any comparison involving [Null] is false.
+    [Int]-[Str] comparisons coerce the string numerically when
+    possible, otherwise compare the printed forms — mirroring the
+    XPath-side {!Xmlac_xpath.Ast.cmp_holds} so both backends agree. *)
+
+val to_literal : t -> string
+(** SQL literal syntax: [NULL], [42], ['it''s']. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+module Dtd = Xmlac_xml.Dtd
+module Sg = Xmlac_xml.Schema_graph
+module Schema = Xmlac_reldb.Schema
+
+type t = {
+  dtd : Dtd.t;
+  sg : Sg.t;
+  schema : Schema.t;
+  by_type : (string, Schema.table) Hashtbl.t;
+  pcdata : (string, unit) Hashtbl.t;
+}
+
+let of_dtd dtd =
+  let sg = Sg.build dtd in
+  if Sg.is_recursive sg then
+    invalid_arg "Mapping.of_dtd: recursive DTDs are not supported";
+  let by_type = Hashtbl.create 32 in
+  let pcdata = Hashtbl.create 32 in
+  let schema =
+    List.map
+      (fun ty ->
+        let is_pcdata = Dtd.content dtd ty = Dtd.Pcdata in
+        if is_pcdata then Hashtbl.replace pcdata ty ();
+        let cols =
+          [ ("id", Schema.TInt); ("pid", Schema.TInt) ]
+          @ (if is_pcdata then [ ("v", Schema.TStr) ] else [])
+          @ [ ("s", Schema.TStr) ]
+        in
+        let table = Schema.table ty cols in
+        Hashtbl.replace by_type ty table;
+        table)
+      (Dtd.element_types dtd)
+  in
+  { dtd; sg; schema; by_type; pcdata }
+
+let dtd t = t.dtd
+let schema_graph t = t.sg
+let relational_schema t = t.schema
+
+let table_for t ty =
+  match Hashtbl.find_opt t.by_type ty with
+  | Some table -> table
+  | None -> raise Not_found
+
+let has_value_column t ty = Hashtbl.mem t.pcdata ty
+
+let create_tables t db =
+  List.iter
+    (fun table -> ignore (Xmlac_reldb.Database.create_table db table))
+    t.schema
+
+let ddl t =
+  String.concat "\n" (List.map Schema.create_table_sql t.schema) ^ "\n"

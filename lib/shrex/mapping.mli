@@ -1,0 +1,34 @@
+(** The XML-to-relational mapping, à la ShreX (Section 5.2).
+
+    Every element type [E] of the DTD maps to a relational table
+    [E(id, pid, v?, s)]:
+    - [id] — the universal identifier (the XML node's id), primary key;
+    - [pid] — the parent node's id (NULL for the root tuple);
+    - [v] — the node's text value, present only for PCDATA types;
+    - [s] — the accessibility sign, ["+"] or ["-"].
+
+    The element-type name doubles as the table name, which is safe
+    because DTD names are valid SQL identifiers in our dialect. *)
+
+type t
+
+val of_dtd : Xmlac_xml.Dtd.t -> t
+(** Requires a non-recursive DTD (the translation of descendant axes
+    enumerates schema paths). Raises [Invalid_argument] otherwise. *)
+
+val dtd : t -> Xmlac_xml.Dtd.t
+val schema_graph : t -> Xmlac_xml.Schema_graph.t
+
+val relational_schema : t -> Xmlac_reldb.Schema.t
+(** One table per element type, in DTD declaration order. *)
+
+val table_for : t -> string -> Xmlac_reldb.Schema.table
+(** @raise Not_found for undeclared element types. *)
+
+val has_value_column : t -> string -> bool
+(** Whether the element type is PCDATA (its table carries [v]). *)
+
+val create_tables : t -> Xmlac_reldb.Database.t -> unit
+
+val ddl : t -> string
+(** The CREATE TABLE script. *)

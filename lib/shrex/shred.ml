@@ -1,0 +1,103 @@
+module Tree = Xmlac_xml.Tree
+module Dtd = Xmlac_xml.Dtd
+module Db = Xmlac_reldb.Database
+module Table = Xmlac_reldb.Table
+module Value = Xmlac_reldb.Value
+module Sql = Xmlac_reldb.Sql
+
+let tuple_of_node mapping ~default_sign (n : Tree.node) =
+  let pid =
+    match Tree.parent n with
+    | None -> Value.Null
+    | Some p -> Value.Int p.Tree.id
+  in
+  let value_cols =
+    if Mapping.has_value_column mapping n.Tree.name then
+      [ (match n.Tree.value with
+        | Some v -> Value.Str v
+        | None -> Value.Null) ]
+    else []
+  in
+  [ Value.Int n.Tree.id; pid ] @ value_cols @ [ Value.Str default_sign ]
+
+let insert_statements mapping ~default_sign doc =
+  List.rev
+    (Tree.fold
+       (fun acc n ->
+         Sql.Insert
+           {
+             table = n.Tree.name;
+             values = tuple_of_node mapping ~default_sign n;
+           }
+         :: acc)
+       [] doc)
+
+let load mapping ~default_sign db doc =
+  Mapping.create_tables mapping db;
+  Tree.fold
+    (fun count n ->
+      let table = Db.table db n.Tree.name in
+      Table.insert table
+        (Array.of_list (tuple_of_node mapping ~default_sign n));
+      count + 1)
+    0 doc
+
+let load_script db stmts = Xmlac_reldb.Executor.run_script db stmts
+
+let insert_subtree mapping ~default_sign db node =
+  let count = ref 0 in
+  let rec go (n : Tree.node) =
+    let table = Db.table db n.Tree.name in
+    Table.insert table (Array.of_list (tuple_of_node mapping ~default_sign n));
+    incr count;
+    List.iter go (Tree.children n)
+  in
+  go node;
+  !count
+
+let node_table mapping db id =
+  let rec go = function
+    | [] -> None
+    | ty :: rest -> (
+        match Db.table_opt db ty with
+        | Some table when Table.find_by_id table id <> None -> Some table
+        | _ -> go rest)
+  in
+  go (Dtd.element_types (Mapping.dtd mapping))
+
+let delete_subtrees mapping db ids =
+  let dtd = Mapping.dtd mapping in
+  let deleted = ref 0 in
+  (* Recursive subtree deletion: a node of type [ty] can only have
+     children in the tables of [ty]'s child types, so each level is a
+     handful of pid-index probes. *)
+  let rec delete_node ty id =
+    List.iter
+      (fun child_ty ->
+        match Db.table_opt db child_ty with
+        | None -> ()
+        | Some child_table ->
+            let id_col =
+              Xmlac_reldb.Schema.column_index (Table.schema child_table) "id"
+            in
+            let child_ids =
+              List.filter_map
+                (fun row ->
+                  match Table.get child_table ~row ~column:id_col with
+                  | Value.Int cid -> Some cid
+                  | _ -> None)
+                (Table.rows_by_pid child_table id)
+            in
+            List.iter (delete_node child_ty) child_ids)
+      (Dtd.child_types dtd ty);
+    match Db.table_opt db ty with
+    | Some table when Table.delete_by_id table id -> incr deleted
+    | _ -> ()
+  in
+  List.iter
+    (fun id ->
+      match node_table mapping db id with
+      | Some table -> delete_node (Table.name table) id
+      | None -> ())
+    ids;
+  !deleted

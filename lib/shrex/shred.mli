@@ -1,0 +1,37 @@
+(** Document shredding: XML tree -> relational tuples.
+
+    One tuple per XML node, in the node's element-type table, with the
+    node's id as primary key and the parent's id as [pid] (Table 4 of
+    the paper).  Signs are initialized to the policy's default
+    semantics. *)
+
+val insert_statements :
+  Mapping.t -> default_sign:string -> Xmlac_xml.Tree.t -> Xmlac_reldb.Sql.stmt list
+(** The INSERT script representing the document, in preorder (parents
+    before children, so foreign keys always resolve). *)
+
+val load :
+  Mapping.t -> default_sign:string -> Xmlac_reldb.Database.t -> Xmlac_xml.Tree.t -> int
+(** Creates the mapped tables and inserts every node directly; returns
+    the tuple count. The database must be empty of these tables. *)
+
+val load_script : Xmlac_reldb.Database.t -> Xmlac_reldb.Sql.stmt list -> int
+(** Executes a previously rendered INSERT script (tables must already
+    exist) — the paper's "loading time" measurement path. *)
+
+val insert_subtree :
+  Mapping.t -> default_sign:string -> Xmlac_reldb.Database.t ->
+  Xmlac_xml.Tree.node -> int
+(** Inserts the tuples of a freshly grafted subtree (the node and its
+    descendants), reusing the node's universal ids and parent link;
+    returns the tuple count.  The parent tuple must already exist. *)
+
+val delete_subtrees : Mapping.t -> Xmlac_reldb.Database.t -> int list -> int
+(** Deletes the tuples with the given ids and, transitively, all their
+    descendant tuples (children are located through the pid indexes of
+    the child-type tables). Returns the number of deleted tuples. *)
+
+val node_table : Mapping.t -> Xmlac_reldb.Database.t -> int -> Xmlac_reldb.Table.t option
+(** The table currently holding the tuple with the given universal id,
+    found by scanning the (few) table indexes — the paper's
+    "iterate over all tables" step. *)

@@ -1,0 +1,201 @@
+open Xmlac_xpath.Ast
+module Sg = Xmlac_xml.Schema_graph
+module Dtd = Xmlac_xml.Dtd
+module Sql = Xmlac_reldb.Sql
+module Value = Xmlac_reldb.Value
+
+(* A conjunctive branch under construction: the joins and predicates
+   accumulated so far, plus the alias/type of the context node. *)
+type branch = {
+  from : Sql.table_ref list;
+  where : Sql.pred list;
+  cur_alias : string;
+  cur_type : string;
+}
+
+type ctx = { mapping : Mapping.t; mutable counter : int }
+
+let fresh ctx ty =
+  ctx.counter <- ctx.counter + 1;
+  Printf.sprintf "%s%d" ty ctx.counter
+
+let test_ok test ty =
+  match test with Wildcard -> true | Name l -> String.equal l ty
+
+(* Extend [b] with a join to a child tuple of type [ty]. *)
+let join_child ctx b ty =
+  let alias = fresh ctx ty in
+  {
+    from = b.from @ [ { Sql.table = ty; as_alias = alias } ];
+    where =
+      b.where
+      @ [ Sql.eq (Sql.Col (Sql.col alias "pid")) (Sql.Col (Sql.col b.cur_alias "id")) ];
+    cur_alias = alias;
+    cur_type = ty;
+  }
+
+(* Extend [b] with joins along a child-type chain (excluding the
+   source type). *)
+let join_chain ctx b chain = List.fold_left (join_child ctx) b chain
+
+(* All chains realizing a descendant step from [ty] to a type matching
+   [test]; each chain excludes [ty]. *)
+let descendant_chains ctx ty test =
+  let sg = Mapping.schema_graph ctx.mapping in
+  let dtd = Mapping.dtd ctx.mapping in
+  let destinations =
+    List.filter
+      (fun dst -> test_ok test dst && Sg.reachable sg ~src:ty ~dst)
+      (Dtd.element_types dtd)
+  in
+  List.concat_map
+    (fun dst ->
+      List.filter_map
+        (fun path ->
+          match path with [] | [ _ ] -> None | _ :: rest -> Some rest)
+        (Sg.paths_between sg ~src:ty ~dst))
+    destinations
+
+let rec apply_step ctx (b : branch) (s : step) : branch list =
+  let after_axis =
+    match s.axis with
+    | Child ->
+        let kids = Dtd.child_types (Mapping.dtd ctx.mapping) b.cur_type in
+        List.filter_map
+          (fun ty -> if test_ok s.test ty then Some (join_child ctx b ty) else None)
+          kids
+    | Descendant ->
+        List.map (join_chain ctx b) (descendant_chains ctx b.cur_type s.test)
+  in
+  List.concat_map (fun b' -> apply_quals ctx b' s.quals) after_axis
+
+and apply_quals ctx b quals =
+  List.fold_left
+    (fun branches q -> List.concat_map (fun b' -> apply_qual ctx b' q) branches)
+    [ b ] quals
+
+(* Qualifiers extend the joins but return to the context alias. *)
+and apply_qual ctx (b : branch) (q : qual) : branch list =
+  match q with
+  | And (a, c) ->
+      List.concat_map (fun b' -> apply_qual ctx b' c) (apply_qual ctx b a)
+  | Exists p ->
+      List.map
+        (fun b' -> { b' with cur_alias = b.cur_alias; cur_type = b.cur_type })
+        (apply_rel ctx b p)
+  | Value (p, op, d) ->
+      let ends = apply_rel ctx b p in
+      List.filter_map
+        (fun b' ->
+          if Mapping.has_value_column ctx.mapping b'.cur_type then
+            Some
+              {
+                b' with
+                where =
+                  b'.where
+                  @ [ Sql.Cmp
+                        {
+                          lhs = Sql.Col (Sql.col b'.cur_alias "v");
+                          op = cmp_to_sql op;
+                          rhs = Sql.Const (Value.Str d);
+                        } ];
+                cur_alias = b.cur_alias;
+                cur_type = b.cur_type;
+              }
+          else None)
+        ends
+
+and apply_rel ctx b (p : path) : branch list =
+  List.fold_left
+    (fun branches s -> List.concat_map (fun b' -> apply_step ctx b' s) branches)
+    [ b ] p
+
+and cmp_to_sql = function
+  | Eq -> Value.Eq
+  | Neq -> Value.Neq
+  | Lt -> Value.Lt
+  | Le -> Value.Le
+  | Gt -> Value.Gt
+  | Ge -> Value.Ge
+
+(* The first step is anchored at the virtual document root: a child
+   step can only land on the DTD's root type (with a NULL pid); a
+   descendant step lands on any tuple of a matching type — table
+   membership is type membership, so no join is needed. *)
+let initial_branches ctx (s : step) : branch list =
+  let dtd = Mapping.dtd ctx.mapping in
+  let starts =
+    match s.axis with
+    | Child ->
+        let root_ty = Dtd.root dtd in
+        if test_ok s.test root_ty then
+          let alias = fresh ctx root_ty in
+          [ {
+              from = [ { Sql.table = root_ty; as_alias = alias } ];
+              where = [ Sql.Is_null (Sql.col alias "pid") ];
+              cur_alias = alias;
+              cur_type = root_ty;
+            } ]
+        else []
+    | Descendant ->
+        List.filter_map
+          (fun ty ->
+            if test_ok s.test ty then
+              let alias = fresh ctx ty in
+              Some
+                {
+                  from = [ { Sql.table = ty; as_alias = alias } ];
+                  where = [];
+                  cur_alias = alias;
+                  cur_type = ty;
+                }
+            else None)
+          (Dtd.element_types dtd)
+  in
+  List.concat_map (fun b -> apply_quals ctx b s.quals) starts
+
+(* A syntactically valid query with an empty answer, for expressions
+   the schema rules out entirely. *)
+let empty_query mapping =
+  let root_ty = Dtd.root (Mapping.dtd mapping) in
+  Sql.Select
+    {
+      proj = [ Sql.col "t0" "id" ];
+      from = [ { Sql.table = root_ty; as_alias = "t0" } ];
+      where =
+        [ Sql.Cmp
+            {
+              lhs = Sql.Const (Value.Int 0);
+              op = Value.Eq;
+              rhs = Sql.Const (Value.Int 1);
+            } ];
+    }
+
+let translate mapping (e : expr) =
+  let ctx = { mapping; counter = 0 } in
+  let branches =
+    match e.steps with
+    | [] -> []
+    | first :: rest ->
+        List.fold_left
+          (fun branches s ->
+            List.concat_map (fun b -> apply_step ctx b s) branches)
+          (initial_branches ctx first)
+          rest
+  in
+  let selects =
+    List.map
+      (fun b ->
+        Sql.Select
+          { proj = [ Sql.col b.cur_alias "id" ]; from = b.from; where = b.where })
+      branches
+  in
+  match selects with
+  | [] -> empty_query mapping
+  | first :: rest -> List.fold_left (fun acc s -> Sql.Union (acc, s)) first rest
+
+let translate_string mapping s =
+  translate mapping (Xmlac_xpath.Parser.parse_exn s)
+
+let eval_ids mapping db e =
+  Xmlac_reldb.Executor.query_ids db (translate mapping e)

@@ -1,0 +1,32 @@
+(** XPath -> SQL translation over the ShreX mapping (Section 5.2).
+
+    An expression of the fragment compiles to a UNION of conjunctive
+    SELECT-PROJECT-JOIN queries, one per way the expression can be
+    realized under the schema:
+
+    - a child step becomes a join [child.pid = parent.id];
+    - a descendant step anchored at the document root selects the whole
+      table of each matching type (type = table membership);
+    - an inner descendant step expands to every child-axis label chain
+      the (non-recursive) schema allows, each chain a branch of the
+      UNION;
+    - wildcards branch over the child types the schema permits;
+    - qualifiers add joins off the qualified step's alias, and value
+      comparisons constrain the [v] column of PCDATA tables.
+
+    Branches that the schema rules out (e.g. a value test on a
+    non-PCDATA type) are dropped; an unsatisfiable expression yields a
+    query returning no rows.  The produced query projects exactly the
+    universal [id] of the selected nodes, so its answer is directly
+    comparable with the native store's node set — the property the
+    equivalence tests check. *)
+
+val translate : Mapping.t -> Xmlac_xpath.Ast.expr -> Xmlac_reldb.Sql.query
+
+val translate_string : Mapping.t -> string -> Xmlac_reldb.Sql.query
+(** Convenience: parse then translate.
+    @raise Invalid_argument on parse errors. *)
+
+val eval_ids :
+  Mapping.t -> Xmlac_reldb.Database.t -> Xmlac_xpath.Ast.expr -> int list
+(** Translate and run, returning selected universal ids, ascending. *)

@@ -1,0 +1,81 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = next_int64 t in
+  { state = mix s }
+
+let int t bound =
+  assert (bound > 0);
+  (* Mask to 62 bits so the Int64 -> int conversion cannot wrap to a
+     negative value on 64-bit platforms (OCaml ints are 63-bit). *)
+  let r =
+    Int64.to_int (Int64.logand (next_int64 t) 0x3FFF_FFFF_FFFF_FFFFL)
+  in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 significant bits, as in the standard doubles-from-bits recipe *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_list t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k xs =
+  let arr = Array.of_list xs in
+  shuffle t arr;
+  let k = min k (Array.length arr) in
+  Array.to_list (Array.sub arr 0 k)
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  let rec loop n = if bernoulli t p then n else loop (n + 1) in
+  loop 0
+
+let word t n =
+  String.init n (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let words t n =
+  let rec loop acc i =
+    if i = 0 then String.concat " " (List.rev acc)
+    else loop (word t (int_in t 3 9) :: acc) (i - 1)
+  in
+  loop [] n

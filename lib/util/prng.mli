@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random number generation.
+
+    All random data in the library (document generation, workload
+    synthesis, benchmark inputs) flows through this module so that runs
+    are reproducible bit-for-bit given a seed.  The generator is
+    splitmix64, which is small, fast and statistically adequate for
+    workload synthesis. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator starting from [t]'s current
+    state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    decorrelated from [t]'s continuation; used to hand substreams to
+    subcomponents without sharing state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [min k (length xs)] distinct elements of [xs]
+    in random order. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] samples the number of failures before the first
+    success of a Bernoulli(p); used for skewed fan-outs. *)
+
+val word : t -> int -> string
+(** [word t n] is a lowercase pseudo-word of length [n]. *)
+
+val words : t -> int -> string
+(** [words t n] is [n] pseudo-words joined with spaces. *)

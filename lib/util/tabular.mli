@@ -1,0 +1,25 @@
+(** Plain-text table rendering for benchmark and report output. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers; alignment defaults to
+    [Right] for every column. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; the list must match the header count. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header count are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the surrounding rows. *)
+
+val render : t -> string
+(** The table as a string, newline-terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

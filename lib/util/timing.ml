@@ -1,0 +1,36 @@
+(* [Sys.time] measures processor time, which for this single-threaded
+   CPU-bound library coincides with wall time and needs no extra
+   dependency (Unix is not linked). *)
+
+let now () = Sys.time ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  let t1 = now () in
+  (x, t1 -. t0)
+
+let time_n ~n f =
+  assert (n >= 1);
+  let t0 = now () in
+  for _ = 1 to n do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t1 = now () in
+  (t1 -. t0) /. float_of_int n
+
+let repeat_until ~min_runs ~min_seconds f =
+  let t0 = now () in
+  let runs = ref 0 in
+  while !runs < min_runs || now () -. t0 < min_seconds do
+    ignore (Sys.opaque_identity (f ()));
+    incr runs
+  done;
+  (now () -. t0) /. float_of_int !runs
+
+let pp_seconds ppf s =
+  let abs = Float.abs s in
+  if abs < 1e-6 then Format.fprintf ppf "%.3g ns" (s *. 1e9)
+  else if abs < 1e-3 then Format.fprintf ppf "%.3g us" (s *. 1e6)
+  else if abs < 1.0 then Format.fprintf ppf "%.3g ms" (s *. 1e3)
+  else Format.fprintf ppf "%.3g s" s

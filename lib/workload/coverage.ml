@@ -1,0 +1,61 @@
+module Tree = Xmlac_xml.Tree
+module Rule = Xmlac_core.Rule
+module Policy = Xmlac_core.Policy
+
+let coverage_of policy doc =
+  let accessible = List.length (Policy.accessible_ids policy doc) in
+  let total = Tree.size doc in
+  if total = 0 then 0.0 else float_of_int accessible /. float_of_int total
+
+(* A few deny rules over small, meaningful regions: sensitive person
+   data and featured auctions. They keep the EXCEPT branch of the
+   annotation query and the dependency machinery exercised. *)
+let negative_rules =
+  [
+    Rule.parse ~name:"D1" "//creditcard" Rule.Minus;
+    Rule.parse ~name:"D2" "//person[creditcard]/profile" Rule.Minus;
+    Rule.parse ~name:"D3" "//open_auction[type = \"Featured\"]/reserve" Rule.Minus;
+  ]
+
+(* Candidate positive rules, roughly ordered from broad to narrow so
+   the greedy loop can both leap and fine-tune. *)
+let positive_candidates =
+  [
+    "//person"; "//open_auction"; "//item"; "//closed_auction";
+    "//bidder"; "//address"; "//profile"; "//annotation"; "//interval";
+    "//category"; "//watches"; "//name"; "//description"; "//date";
+    "//quantity"; "//seller"; "//itemref"; "//price"; "//increase";
+    "//time"; "//initial"; "//current"; "//emailaddress"; "//phone";
+    "//street"; "//city"; "//country"; "//zipcode"; "//interest";
+    "//education"; "//gender"; "//business"; "//age"; "//watch";
+    "//type"; "//payment"; "//location"; "//buyer"; "//author";
+    "//happiness"; "//start"; "//end"; "//reserve"; "//shipping";
+    "//regions"; "//categories"; "//people"; "//open_auctions";
+    "//closed_auctions"; "//africa"; "//asia"; "//australia";
+    "//europe"; "//namerica"; "//samerica"; "/site";
+  ]
+
+let policy_for_target ~doc ~target =
+  let base = Policy.make ~ds:Rule.Minus ~cr:Rule.Minus negative_rules in
+  let rec grow policy candidates i =
+    if coverage_of policy doc >= target then policy
+    else
+      match candidates with
+      | [] -> policy
+      | c :: rest ->
+          let rule = Rule.parse ~name:(Printf.sprintf "A%d" i) c Rule.Plus in
+          grow
+            (Policy.with_rules policy (Policy.rules policy @ [ rule ]))
+            rest (i + 1)
+  in
+  grow base positive_candidates 1
+
+let dataset ~doc ~targets =
+  List.map
+    (fun target ->
+      let p = policy_for_target ~doc ~target in
+      (coverage_of p doc, p))
+    targets
+
+let standard_targets =
+  [ 0.25; 0.30; 0.35; 0.40; 0.45; 0.50; 0.55; 0.60; 0.65; 0.70 ]

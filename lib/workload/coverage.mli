@@ -1,0 +1,26 @@
+(** The coverage policy dataset (Section 7.1).
+
+    The paper crafts policies that "force the system to annotate
+    increasingly larger portions of the data" and verifies achieved
+    coverage after each annotation.  We do the same programmatically:
+    a fixed set of small negative rules plus positive rules added
+    greedily (largest node populations first) until the measured
+    accessible fraction of a reference document reaches the target.
+    All policies use the deny/deny configuration, like the paper. *)
+
+val coverage_of : Xmlac_core.Policy.t -> Xmlac_xml.Tree.t -> float
+(** Accessible fraction of the document's nodes in [0, 1]. *)
+
+val policy_for_target :
+  doc:Xmlac_xml.Tree.t -> target:float -> Xmlac_core.Policy.t
+(** Smallest greedy policy whose coverage on [doc] is >= [target]
+    (or the maximal candidate policy if the target is unreachable). *)
+
+val dataset :
+  doc:Xmlac_xml.Tree.t -> targets:float list ->
+  (float * Xmlac_core.Policy.t) list
+(** One policy per target, tagged with its {e measured} coverage on
+    [doc] — the x-axis values of Figure 11. *)
+
+val standard_targets : float list
+(** 0.25, 0.30, ..., 0.70 — the range of Figure 11. *)

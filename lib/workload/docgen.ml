@@ -1,0 +1,76 @@
+module Prng = Xmlac_util.Prng
+module Dtd = Xmlac_xml.Dtd
+module Tree = Xmlac_xml.Tree
+module Sg = Xmlac_xml.Schema_graph
+
+type config = {
+  fanout : rng:Prng.t -> parent:string -> child:string ->
+           Dtd.occurrence -> int;
+  value : rng:Prng.t -> elem:string -> string;
+  choice : rng:Prng.t -> parent:string ->
+           Dtd.particle list -> Dtd.particle option;
+}
+
+let default_config =
+  {
+    fanout =
+      (fun ~rng ~parent:_ ~child:_ occ ->
+        match occ with
+        | Dtd.One -> 1
+        | Dtd.Optional -> if Prng.bool rng then 1 else 0
+        | Dtd.Star -> Prng.geometric rng 0.4
+        | Dtd.Plus -> 1 + Prng.geometric rng 0.4);
+    value = (fun ~rng ~elem:_ -> Prng.word rng (Prng.int_in rng 3 8));
+    choice =
+      (fun ~rng ~parent:_ particles ->
+        let optionalish (p : Dtd.particle) =
+          p.Dtd.occ = Dtd.Optional || p.Dtd.occ = Dtd.Star
+        in
+        if List.for_all optionalish particles && Prng.bernoulli rng 0.1 then None
+        else Some (Prng.choose_list rng particles));
+  }
+
+let clamp occ n =
+  match occ with
+  | Dtd.One -> 1
+  | Dtd.Optional -> max 0 (min 1 n)
+  | Dtd.Star -> max 0 n
+  | Dtd.Plus -> max 1 n
+
+let generate ?(config = default_config) ~rng dtd =
+  let sg = Sg.build dtd in
+  if Sg.is_recursive sg then
+    invalid_arg "Docgen.generate: recursive DTD";
+  let doc = Tree.create ~root_name:(Dtd.root dtd) in
+  let rec fill (node : Tree.node) =
+    let ty = node.Tree.name in
+    match Dtd.content dtd ty with
+    | Dtd.Empty -> ()
+    | Dtd.Pcdata ->
+        Tree.set_value doc node (Some (config.value ~rng ~elem:ty))
+    | Dtd.Seq particles ->
+        List.iter
+          (fun (p : Dtd.particle) ->
+            let n =
+              clamp p.Dtd.occ
+                (config.fanout ~rng ~parent:ty ~child:p.Dtd.elem p.Dtd.occ)
+            in
+            for _ = 1 to n do
+              fill (Tree.add_child doc node p.Dtd.elem)
+            done)
+          particles
+    | Dtd.Choice particles -> (
+        match config.choice ~rng ~parent:ty particles with
+        | None -> ()
+        | Some p ->
+            let n =
+              clamp p.Dtd.occ
+                (max 1
+                   (config.fanout ~rng ~parent:ty ~child:p.Dtd.elem p.Dtd.occ))
+            in
+            for _ = 1 to n do
+              fill (Tree.add_child doc node p.Dtd.elem)
+            done)
+  in
+  fill (Tree.root doc);
+  doc

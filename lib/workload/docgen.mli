@@ -1,0 +1,31 @@
+(** Generic random document generation from a DTD.
+
+    Drives all synthetic workloads (the XMark-like dataset, enlarged
+    hospital instances, property-test documents).  Fan-outs and leaf
+    values are supplied by callbacks so each workload can shape its own
+    distributions; the result is always valid against the DTD by
+    construction. *)
+
+type config = {
+  fanout : rng:Xmlac_util.Prng.t -> parent:string -> child:string ->
+           Xmlac_xml.Dtd.occurrence -> int;
+      (** How many [child] elements to put under a [parent]; the result
+          is clamped to the occurrence's legal range (0/1 minimums, 1
+          maximum for [One]/[Optional]). *)
+  value : rng:Xmlac_util.Prng.t -> elem:string -> string;
+      (** Text for a PCDATA element. *)
+  choice : rng:Xmlac_util.Prng.t -> parent:string ->
+           Xmlac_xml.Dtd.particle list -> Xmlac_xml.Dtd.particle option;
+      (** Which branch of a choice to take; [None] leaves the element
+          empty (allowed only when every branch is optional). *)
+}
+
+val default_config : config
+(** Geometric fan-outs (mean ~2) for starred particles, fair choice
+    branches, short pseudo-word values. *)
+
+val generate :
+  ?config:config -> rng:Xmlac_util.Prng.t -> Xmlac_xml.Dtd.t -> Xmlac_xml.Tree.t
+(** A fresh document rooted at the DTD's root type.  Raises
+    [Invalid_argument] for recursive DTDs (generation may not
+    terminate otherwise). *)

@@ -1,0 +1,178 @@
+module Dtd = Xmlac_xml.Dtd
+module Tree = Xmlac_xml.Tree
+module Prng = Xmlac_util.Prng
+module Rule = Xmlac_core.Rule
+module Policy = Xmlac_core.Policy
+
+let dtd =
+  Dtd.make ~root:"hospital"
+    [
+      ("hospital", Dtd.Seq [ { elem = "dept"; occ = Dtd.Plus } ]);
+      ( "dept",
+        Dtd.Seq
+          [ { elem = "patients"; occ = Dtd.One };
+            { elem = "staffinfo"; occ = Dtd.One } ] );
+      ("patients", Dtd.Seq [ { elem = "patient"; occ = Dtd.Star } ]);
+      ("staffinfo", Dtd.Seq [ { elem = "staff"; occ = Dtd.Star } ]);
+      ( "patient",
+        Dtd.Seq
+          [ { elem = "psn"; occ = Dtd.One };
+            { elem = "name"; occ = Dtd.One };
+            { elem = "treatment"; occ = Dtd.Optional } ] );
+      ( "treatment",
+        Dtd.Choice
+          [ { elem = "regular"; occ = Dtd.Optional };
+            { elem = "experimental"; occ = Dtd.Optional } ] );
+      ( "regular",
+        Dtd.Seq
+          [ { elem = "med"; occ = Dtd.One }; { elem = "bill"; occ = Dtd.One } ] );
+      ( "experimental",
+        Dtd.Seq
+          [ { elem = "test"; occ = Dtd.One }; { elem = "bill"; occ = Dtd.One } ] );
+      ( "staff",
+        Dtd.Choice
+          [ { elem = "nurse"; occ = Dtd.One };
+            { elem = "doctor"; occ = Dtd.One } ] );
+      ( "nurse",
+        Dtd.Seq
+          [ { elem = "sid"; occ = Dtd.One };
+            { elem = "name"; occ = Dtd.One };
+            { elem = "phone"; occ = Dtd.One } ] );
+      ( "doctor",
+        Dtd.Seq
+          [ { elem = "sid"; occ = Dtd.One };
+            { elem = "name"; occ = Dtd.One };
+            { elem = "phone"; occ = Dtd.One } ] );
+      ("psn", Dtd.Pcdata);
+      ("name", Dtd.Pcdata);
+      ("sid", Dtd.Pcdata);
+      ("phone", Dtd.Pcdata);
+      ("med", Dtd.Pcdata);
+      ("bill", Dtd.Pcdata);
+      ("test", Dtd.Pcdata);
+    ]
+
+type treatment =
+  | Regular of string * string
+  | Experimental of string * string
+  | Unspecified  (** An empty treatment element — allowed by the choice
+                     content model (both branches optional). *)
+
+let add_patient doc patients ~psn ~name treatment =
+  let p = Tree.add_child doc patients "patient" in
+  ignore (Tree.add_child doc p ~value:psn "psn");
+  ignore (Tree.add_child doc p ~value:name "name");
+  (match treatment with
+  | None -> ()
+  | Some t ->
+      let tr = Tree.add_child doc p "treatment" in
+      (match t with
+      | Regular (med, bill) ->
+          let r = Tree.add_child doc tr "regular" in
+          ignore (Tree.add_child doc r ~value:med "med");
+          ignore (Tree.add_child doc r ~value:bill "bill")
+      | Experimental (test, bill) ->
+          let e = Tree.add_child doc tr "experimental" in
+          ignore (Tree.add_child doc e ~value:test "test");
+          ignore (Tree.add_child doc e ~value:bill "bill")
+      | Unspecified -> ()));
+  p
+
+let add_staff doc staffinfo ~kind ~sid ~name ~phone =
+  let s = Tree.add_child doc staffinfo "staff" in
+  let k = Tree.add_child doc s kind in
+  ignore (Tree.add_child doc k ~value:sid "sid");
+  ignore (Tree.add_child doc k ~value:name "name");
+  ignore (Tree.add_child doc k ~value:phone "phone");
+  s
+
+let sample_document () =
+  let doc = Tree.create ~root_name:"hospital" in
+  let dept = Tree.add_child doc (Tree.root doc) "dept" in
+  let patients = Tree.add_child doc dept "patients" in
+  let _ = Tree.add_child doc dept "staffinfo" in
+  ignore
+    (add_patient doc patients ~psn:"033" ~name:"john doe"
+       (Some (Regular ("enoxaparin", "700"))));
+  ignore
+    (add_patient doc patients ~psn:"042" ~name:"jane doe"
+       (Some (Experimental ("regression hypnosis", "1600"))));
+  ignore (add_patient doc patients ~psn:"099" ~name:"joy smith" None);
+  doc
+
+(* Table 1. *)
+let policy =
+  Policy.make ~ds:Rule.Minus ~cr:Rule.Minus
+    [
+      Rule.parse ~name:"R1" "//patient" Rule.Plus;
+      Rule.parse ~name:"R2" "//patient/name" Rule.Plus;
+      Rule.parse ~name:"R3" "//patient[treatment]" Rule.Minus;
+      Rule.parse ~name:"R4" "//patient[treatment]/name" Rule.Plus;
+      Rule.parse ~name:"R5" "//patient[.//experimental]" Rule.Minus;
+      Rule.parse ~name:"R6" "//regular" Rule.Plus;
+      Rule.parse ~name:"R7" "//regular[med = \"celecoxib\"]" Rule.Plus;
+      Rule.parse ~name:"R8" "//regular[bill > 1000]" Rule.Plus;
+    ]
+
+let optimized_rule_names = [ "R1"; "R2"; "R3"; "R5"; "R6" ]
+
+let accessible_sample_ids () =
+  let doc = sample_document () in
+  Policy.accessible_ids policy doc
+
+let first_names =
+  [| "john"; "jane"; "joy"; "mary"; "peter"; "ana"; "george"; "lena";
+     "nick"; "irene"; "sotiris"; "laz"; "chris"; "eva"; "max"; "tina" |]
+
+let last_names =
+  [| "doe"; "smith"; "jones"; "brown"; "murphy"; "adams"; "clark";
+     "lewis"; "walker"; "young"; "harris"; "baker" |]
+
+let meds =
+  [| "enoxaparin"; "celecoxib"; "aspirin"; "ibuprofen"; "heparin";
+     "atenolol"; "insulin"; "amoxicillin" |]
+
+let tests =
+  [| "regression hypnosis"; "gene panel"; "mri contrast"; "sleep study";
+     "immunotherapy trial" |]
+
+let generate ?(seed = 42L) ~departments ~patients_per_dept () =
+  let rng = Prng.create ~seed in
+  let doc = Tree.create ~root_name:"hospital" in
+  let root = Tree.root doc in
+  for _ = 1 to departments do
+    let dept = Tree.add_child doc root "dept" in
+    let patients = Tree.add_child doc dept "patients" in
+    let staffinfo = Tree.add_child doc dept "staffinfo" in
+    for _ = 1 to patients_per_dept do
+      let psn = Printf.sprintf "%03d" (Prng.int rng 1000) in
+      let name =
+        Prng.choose rng first_names ^ " " ^ Prng.choose rng last_names
+      in
+      let treatment =
+        if Prng.bernoulli rng 0.3 then None
+        else if Prng.bernoulli rng 0.1 then Some Unspecified
+        else if Prng.bernoulli rng 0.7 then
+          Some
+            (Regular
+               ( Prng.choose rng meds,
+                 string_of_int (100 + Prng.int rng 1900) ))
+        else
+          Some
+            (Experimental
+               ( Prng.choose rng tests,
+                 string_of_int (500 + Prng.int rng 2500) ))
+      in
+      ignore (add_patient doc patients ~psn ~name treatment)
+    done;
+    let staff_count = max 1 (patients_per_dept / 4) in
+    for _ = 1 to staff_count do
+      let kind = if Prng.bool rng then "doctor" else "nurse" in
+      ignore
+        (add_staff doc staffinfo ~kind
+           ~sid:(Printf.sprintf "S%04d" (Prng.int rng 10000))
+           ~name:(Prng.choose rng first_names ^ " " ^ Prng.choose rng last_names)
+           ~phone:(Printf.sprintf "555-%04d" (Prng.int rng 10000)))
+    done
+  done;
+  doc

@@ -1,0 +1,34 @@
+(** The paper's motivating example (Section 1.1): the hospital schema
+    of Figure 1, the partial document of Figure 2, and the policy of
+    Table 1. *)
+
+val dtd : Xmlac_xml.Dtd.t
+(** hospital(dept+), dept(patients, staffinfo), patients(patient
+    starred), staffinfo(staff starred), patient(psn, name, treatment?),
+    treatment(regular? | experimental?), regular(med, bill),
+    experimental(test, bill), staff(nurse | doctor),
+    nurse/doctor(sid, name, phone); leaves are PCDATA. *)
+
+val sample_document : unit -> Xmlac_xml.Tree.t
+(** Figure 2: three patients — john doe (033, regular: enoxaparin,
+    bill 700), jane doe (042, experimental: "regression hypnosis",
+    bill 1600), joy smith (099, no treatment). *)
+
+val policy : Xmlac_core.Policy.t
+(** Table 1 (R1-R8), with the paper's running configuration: default
+    semantics deny, conflict resolution deny overrides. *)
+
+val optimized_rule_names : string list
+(** Table 3: the redundancy-free policy keeps R1, R2, R3, R5, R6. *)
+
+val accessible_sample_ids : unit -> int list
+(** Reference accessible node set for {!sample_document} under
+    {!policy} — used as a golden value in tests. *)
+
+val generate :
+  ?seed:int64 -> departments:int -> patients_per_dept:int -> unit ->
+  Xmlac_xml.Tree.t
+(** A larger random hospital instance (valid against {!dtd}) with the
+    same value distributions as the sample: psn numbers, human-ish
+    names, medication names including "celecoxib", bills in
+    100..2000. *)

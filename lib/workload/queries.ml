@@ -1,0 +1,42 @@
+module Prng = Xmlac_util.Prng
+module Sg = Xmlac_xml.Schema_graph
+module Qgen = Xmlac_xpath.Qgen
+module Ast = Xmlac_xpath.Ast
+
+let sg = lazy (Sg.build Xmark.dtd)
+
+let config =
+  {
+    Qgen.default_config with
+    Qgen.value_pool = Xmark.value_pool;
+    pred_prob = 0.35;
+    descendant_prob = 0.4;
+    wildcard_prob = 0.05;
+  }
+
+let response_queries ?(n = 55) ?(seed = 55L) () =
+  let rng = Prng.create ~seed in
+  let sg = Lazy.force sg in
+  List.init n (fun _ -> Qgen.gen_expr ~config rng sg)
+
+(* An expression is root-selecting when its spine is a single step that
+   can match the root element. *)
+let selects_root (e : Ast.expr) =
+  match e.Ast.steps with
+  | [ s ] -> (
+      match s.Ast.test with
+      | Ast.Wildcard -> true
+      | Ast.Name l -> String.equal l "site")
+  | _ -> false
+
+let delete_updates ?(n = 55) ?(seed = 55L) () =
+  let rng = Prng.create ~seed in
+  let sg = Lazy.force sg in
+  let rec collect acc k =
+    if k = 0 then List.rev acc
+    else
+      let e = Qgen.gen_expr ~config rng sg in
+      if selects_root e then collect acc k
+      else collect (e :: acc) (k - 1)
+  in
+  collect [] n

@@ -1,0 +1,16 @@
+(** The query and update workloads of Section 7.2.
+
+    The paper runs "55 different queries (of the same complexity as
+    the coverage policy dataset)" for the response-time experiment
+    (Figure 10) and reuses the same 55 expressions as delete updates
+    for the re-annotation experiment (Figure 12).  The queries are
+    synthesized from the XMark schema with a fixed seed, so every run
+    of the benchmark sees the same workload. *)
+
+val response_queries : ?n:int -> ?seed:int64 -> unit -> Xmlac_xpath.Ast.expr list
+(** [n] defaults to 55. Schema-guided over {!Xmark.dtd}, with value
+    predicates drawn from {!Xmark.value_pool}. *)
+
+val delete_updates : ?n:int -> ?seed:int64 -> unit -> Xmlac_xpath.Ast.expr list
+(** The same expressions filtered for use as delete updates: the
+    document root is never a target. *)

@@ -1,0 +1,108 @@
+module SS = Set.Make (String)
+
+type t = {
+  dtd : Dtd.t;
+  parents : (string, string list) Hashtbl.t;
+  reach : (string, SS.t) Hashtbl.t; (* proper descendants per type *)
+  recursive : bool;
+}
+
+let compute_parents dtd =
+  let parents = Hashtbl.create 32 in
+  List.iter (fun ty -> Hashtbl.replace parents ty []) (Dtd.element_types dtd);
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun child ->
+          let cur = Hashtbl.find parents child in
+          if not (List.mem ty cur) then
+            Hashtbl.replace parents child (cur @ [ ty ]))
+        (Dtd.child_types dtd ty))
+    (Dtd.element_types dtd);
+  parents
+
+(* Transitive closure of the child relation, fixpoint iteration. Schemas
+   have a few dozen types, so the quadratic fixpoint is plenty fast. *)
+let compute_reach dtd =
+  let reach = Hashtbl.create 32 in
+  let types = Dtd.element_types dtd in
+  List.iter
+    (fun ty -> Hashtbl.replace reach ty (SS.of_list (Dtd.child_types dtd ty)))
+    types;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun ty ->
+        let cur = Hashtbl.find reach ty in
+        let extended =
+          SS.fold
+            (fun child acc -> SS.union acc (Hashtbl.find reach child))
+            cur cur
+        in
+        if not (SS.equal cur extended) then begin
+          Hashtbl.replace reach ty extended;
+          changed := true
+        end)
+      types
+  done;
+  reach
+
+let build dtd =
+  let parents = compute_parents dtd in
+  let reach = compute_reach dtd in
+  let recursive =
+    List.exists
+      (fun ty -> SS.mem ty (Hashtbl.find reach ty))
+      (Dtd.element_types dtd)
+  in
+  { dtd; parents; reach; recursive }
+
+let dtd t = t.dtd
+let is_recursive t = t.recursive
+
+let parents t ty =
+  match Hashtbl.find_opt t.parents ty with None -> [] | Some ps -> ps
+
+let reachable t ~src ~dst =
+  match Hashtbl.find_opt t.reach src with
+  | None -> false
+  | Some s -> SS.mem dst s
+
+let require_non_recursive t who =
+  if t.recursive then
+    invalid_arg (who ^ ": recursive DTD; path enumeration does not terminate")
+
+let root_paths t =
+  require_non_recursive t "Schema_graph.root_paths";
+  let acc = ref [] in
+  let rec go path ty =
+    let path = path @ [ ty ] in
+    acc := path :: !acc;
+    List.iter (go path) (Dtd.child_types t.dtd ty)
+  in
+  go [] (Dtd.root t.dtd);
+  List.rev !acc
+
+let paths_to t target =
+  List.filter
+    (fun path ->
+      match List.rev path with [] -> false | last :: _ -> last = target)
+    (root_paths t)
+
+let paths_between t ~src ~dst =
+  require_non_recursive t "Schema_graph.paths_between";
+  let acc = ref [] in
+  let rec go path ty =
+    let path = path @ [ ty ] in
+    if ty = dst && List.length path >= 2 then acc := path :: !acc;
+    (* Continue below even after a hit: dst may also occur deeper. *)
+    List.iter (go path) (Dtd.child_types t.dtd ty)
+  in
+  go [] src;
+  List.rev !acc
+
+let max_depth t =
+  List.fold_left (fun m p -> max m (List.length p)) 0 (root_paths t)
+
+let type_exists t ty = Dtd.declares t.dtd ty

@@ -1,0 +1,45 @@
+(** Derived structural information about a DTD.
+
+    The re-annotation algorithm of Section 5.3 replaces descendant axes
+    inside rule predicates "with relative paths using only the child
+    axis.  With the schema information these replacements are finite."
+    This module provides exactly that: enumeration of the label paths
+    realizable under a (non-recursive) DTD, plus reachability and a
+    recursion check. *)
+
+type t
+
+val build : Dtd.t -> t
+(** Precomputes parent/child maps and reachability. O(types^2). *)
+
+val dtd : t -> Dtd.t
+
+val is_recursive : t -> bool
+(** True when some element type can (transitively) contain itself.
+    Path enumerations below raise [Invalid_argument] on recursive
+    schemas. *)
+
+val parents : t -> string -> string list
+(** Element types in which the given type may occur as a child. *)
+
+val reachable : t -> src:string -> dst:string -> bool
+(** Whether a downward path of length >= 1 exists from [src] to
+    [dst]. *)
+
+val root_paths : t -> string list list
+(** All label paths from the root type down to every type, each path
+    including both endpoints ([[["hospital"]; ["hospital"; "dept"]; ...]]). *)
+
+val paths_to : t -> string -> string list list
+(** Root paths ending at the given type. *)
+
+val paths_between : t -> src:string -> dst:string -> string list list
+(** All child-axis label paths [src; ...; dst] of length >= 2 (i.e.,
+    [dst] a proper descendant of [src]).  Used to expand
+    [.//experimental] under [patient] into
+    [treatment/experimental]-style chains. *)
+
+val max_depth : t -> int
+(** Length of the longest root path (number of nodes). *)
+
+val type_exists : t -> string -> bool

@@ -1,0 +1,57 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_buffer ?(indent = false) ?(signs = true) buf t =
+  let open Tree in
+  let rec emit depth n =
+    if indent then Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_char buf '<';
+    Buffer.add_string buf n.name;
+    (match (signs, n.sign) with
+    | true, Some s ->
+        Buffer.add_string buf " sign=\"";
+        Buffer.add_string buf (sign_to_string s);
+        Buffer.add_char buf '"'
+    | _ -> ());
+    match (n.children, n.value) with
+    | [], None ->
+        Buffer.add_string buf "/>";
+        if indent then Buffer.add_char buf '\n'
+    | [], Some v ->
+        Buffer.add_char buf '>';
+        Buffer.add_string buf (escape v);
+        Buffer.add_string buf "</";
+        Buffer.add_string buf n.name;
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n'
+    | cs, _ ->
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n';
+        List.iter (emit (depth + 1)) cs;
+        if indent then Buffer.add_string buf (String.make (2 * depth) ' ');
+        Buffer.add_string buf "</";
+        Buffer.add_string buf n.name;
+        Buffer.add_char buf '>';
+        if indent then Buffer.add_char buf '\n'
+  in
+  emit 0 (Tree.root t)
+
+let to_string ?indent ?signs t =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent ?signs buf t;
+  Buffer.contents buf
+
+let byte_size ?signs t =
+  let buf = Buffer.create 4096 in
+  to_buffer ~indent:false ?signs buf t;
+  Buffer.length buf

@@ -1,0 +1,21 @@
+(** XML text output.
+
+    Produces the textual form used for Table 5 size measurements and
+    for the native-store round trip.  Accessibility annotations are
+    emitted as [sign="+"] / [sign="-"] attributes, exactly as the
+    paper's native XML representation stores them. *)
+
+val escape : string -> string
+(** Escapes ampersand, angle brackets and double quote for use in
+    content and attribute values. *)
+
+val to_buffer : ?indent:bool -> ?signs:bool -> Buffer.t -> Tree.t -> unit
+(** Serializes the document. [indent] (default [false]) pretty-prints
+    with two-space indentation; [signs] (default [true]) emits sign
+    attributes for annotated nodes. *)
+
+val to_string : ?indent:bool -> ?signs:bool -> Tree.t -> string
+
+val byte_size : ?signs:bool -> Tree.t -> int
+(** Size in bytes of the compact serialization, without materializing
+    the string. *)

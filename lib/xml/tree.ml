@@ -1,0 +1,179 @@
+type sign = Plus | Minus
+
+let sign_to_string = function Plus -> "+" | Minus -> "-"
+
+let sign_of_string = function
+  | "+" -> Some Plus
+  | "-" -> Some Minus
+  | _ -> None
+
+let pp_sign ppf s = Format.pp_print_string ppf (sign_to_string s)
+
+type node = {
+  id : int;
+  mutable name : string;
+  mutable value : string option;
+  mutable parent : node option;
+  mutable children : node list;
+  mutable sign : sign option;
+}
+
+type t = {
+  mutable next_id : int;
+  index : (int, node) Hashtbl.t;
+  mutable root_node : node;
+}
+
+let fresh_node t ~name ~value ~parent =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let n = { id; name; value; parent; children = []; sign = None } in
+  Hashtbl.replace t.index id n;
+  n
+
+let dummy_node =
+  { id = -1; name = ""; value = None; parent = None; children = []; sign = None }
+
+let create ~root_name =
+  let t = { next_id = 0; index = Hashtbl.create 64; root_node = dummy_node } in
+  let root = fresh_node t ~name:root_name ~value:None ~parent:None in
+  t.root_node <- root;
+  t
+
+let root t = t.root_node
+
+let mem t n =
+  match Hashtbl.find_opt t.index n.id with
+  | Some n' -> n' == n
+  | None -> false
+
+let add_child t parent ?value name =
+  if not (mem t parent) then invalid_arg "Tree.add_child: foreign parent";
+  if parent.value <> None then
+    invalid_arg "Tree.add_child: parent holds a text value";
+  let n = fresh_node t ~name ~value ~parent:(Some parent) in
+  parent.children <- parent.children @ [ n ];
+  n
+
+let set_value t node v =
+  if not (mem t node) then invalid_arg "Tree.set_value: foreign node";
+  if node.children <> [] then
+    invalid_arg "Tree.set_value: node has element children";
+  node.value <- v
+
+let rec iter_subtree f n =
+  f n;
+  List.iter (iter_subtree f) n.children
+
+let delete t node =
+  if not (mem t node) then invalid_arg "Tree.delete: foreign node";
+  match node.parent with
+  | None -> invalid_arg "Tree.delete: cannot delete the root"
+  | Some p ->
+      p.children <- List.filter (fun c -> c != node) p.children;
+      node.parent <- None;
+      iter_subtree (fun n -> Hashtbl.remove t.index n.id) node
+
+let rec copy_into t parent src =
+  let n = fresh_node t ~name:src.name ~value:src.value ~parent:(Some parent) in
+  n.sign <- src.sign;
+  parent.children <- parent.children @ [ n ];
+  List.iter (fun c -> ignore (copy_into t n c)) src.children;
+  n
+
+let graft t parent fragment =
+  if not (mem t parent) then invalid_arg "Tree.graft: foreign parent";
+  if parent.value <> None then
+    invalid_arg "Tree.graft: parent holds a text value";
+  copy_into t parent fragment.root_node
+
+let find t id = Hashtbl.find_opt t.index id
+
+let size t = Hashtbl.length t.index
+
+let parent n = n.parent
+let children n = n.children
+
+let descendants n =
+  let acc = ref [] in
+  let rec go m = List.iter (fun c -> acc := c :: !acc; go c) m.children in
+  go n;
+  List.rev !acc
+
+let descendant_or_self n = n :: descendants n
+
+(* Nearest ancestor first, root last. *)
+let ancestors n =
+  let rec go acc m =
+    match m.parent with None -> List.rev acc | Some p -> go (p :: acc) p
+  in
+  go [] n
+
+let depth n = List.length (ancestors n)
+
+let label_path n =
+  let rec go acc m =
+    let acc = m.name :: acc in
+    match m.parent with None -> acc | Some p -> go acc p
+  in
+  go [] n
+
+let iter f t = iter_subtree f t.root_node
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun n -> acc := f !acc n) t;
+  !acc
+
+let nodes t = descendant_or_self t.root_node
+
+let count p t = fold (fun acc n -> if p n then acc + 1 else acc) 0 t
+
+let set_sign n s = n.sign <- s
+
+let signed t s =
+  fold (fun acc n -> if n.sign = Some s then n :: acc else acc) [] t
+  |> List.rev
+
+let clear_signs t = iter (fun n -> n.sign <- None) t
+
+let copy t =
+  let t' =
+    { next_id = t.next_id; index = Hashtbl.create (size t);
+      root_node = dummy_node }
+  in
+  let rec dup parent src =
+    let n =
+      { id = src.id; name = src.name; value = src.value; parent;
+        children = []; sign = src.sign }
+    in
+    Hashtbl.replace t'.index n.id n;
+    n.children <- List.map (fun c -> dup (Some n) c) src.children;
+    n
+  in
+  t'.root_node <- dup None t.root_node;
+  t'
+
+let rec equal_nodes ~signs a b =
+  String.equal a.name b.name
+  && a.value = b.value
+  && (not signs || a.sign = b.sign)
+  && List.length a.children = List.length b.children
+  && List.for_all2 (equal_nodes ~signs) a.children b.children
+
+let equal_structure a b = equal_nodes ~signs:false a.root_node b.root_node
+let equal_annotated a b = equal_nodes ~signs:true a.root_node b.root_node
+
+let pp ppf t =
+  let rec go indent n =
+    Format.fprintf ppf "%s%s#%d" indent n.name n.id;
+    (match n.sign with
+    | Some s -> Format.fprintf ppf " (%s)" (sign_to_string s)
+    | None -> ());
+    (match n.value with
+    | Some v -> Format.fprintf ppf " = %S" v
+    | None -> ());
+    Format.pp_print_newline ppf ();
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  go "" t.root_node

@@ -1,0 +1,116 @@
+(** Rooted, unordered, mutable XML trees.
+
+    This is the document model of the paper (Section 2.1): nodes carry
+    labels from a finite alphabet of element names, leaf nodes may carry
+    a data value, and every node has a document-unique integer id — the
+    "universal identifier" that the relational mapping of Section 5.2
+    relies on.  Each node also has a mutable [sign] slot storing the
+    materialized accessibility annotation ("+"/"-") used by the native
+    XML store.
+
+    Trees are mutable because the paper's workload is update-heavy:
+    annotation flips signs in place and document updates delete or
+    insert subtrees. *)
+
+type sign = Plus | Minus
+
+val sign_to_string : sign -> string
+val sign_of_string : string -> sign option
+val pp_sign : Format.formatter -> sign -> unit
+
+type node = private {
+  id : int;  (** Document-unique identifier, assigned at creation. *)
+  mutable name : string;  (** Element name. *)
+  mutable value : string option;  (** Text content of a leaf element. *)
+  mutable parent : node option;  (** [None] only for the root. *)
+  mutable children : node list;  (** Document order preserved. *)
+  mutable sign : sign option;  (** Materialized annotation, if any. *)
+}
+
+type t
+(** A document: a root node plus the id allocator and id index. *)
+
+(** {1 Construction} *)
+
+val create : root_name:string -> t
+(** A document whose root element is [root_name]. *)
+
+val root : t -> node
+
+val add_child : t -> node -> ?value:string -> string -> node
+(** [add_child doc parent name] appends a fresh child element. Raises
+    [Invalid_argument] if [parent] does not belong to [doc], or when
+    adding a child to a node holding a text value. *)
+
+val set_value : t -> node -> string option -> unit
+(** Sets the text content of a leaf. Raises [Invalid_argument] on a
+    node with element children. *)
+
+val delete : t -> node -> unit
+(** Detaches [node] (with its whole subtree) from the document and
+    removes all its ids from the index. Deleting the root raises
+    [Invalid_argument]. *)
+
+val graft : t -> node -> t -> node
+(** [graft doc parent fragment] deep-copies the root of document
+    [fragment] (and its subtree) under [parent], assigning fresh ids in
+    [doc]; returns the new child. *)
+
+(** {1 Access} *)
+
+val find : t -> int -> node option
+(** Node by universal id; O(1). *)
+
+val mem : t -> node -> bool
+(** Whether the node currently belongs to the document. *)
+
+val size : t -> int
+(** Number of nodes in the document. *)
+
+val parent : node -> node option
+val children : node -> node list
+
+val descendants : node -> node list
+(** Proper descendants, document order (preorder). *)
+
+val descendant_or_self : node -> node list
+
+val ancestors : node -> node list
+(** Proper ancestors, nearest first. *)
+
+val depth : node -> int
+(** Root has depth 0. *)
+
+val label_path : node -> string list
+(** Element names from the root down to the node, inclusive. *)
+
+val iter : (node -> unit) -> t -> unit
+(** Preorder traversal of the whole document. *)
+
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+val nodes : t -> node list
+
+val count : (node -> bool) -> t -> int
+
+(** {1 Annotations} *)
+
+val set_sign : node -> sign option -> unit
+val signed : t -> sign -> node list
+(** Nodes currently carrying the given sign. *)
+
+val clear_signs : t -> unit
+
+(** {1 Copying and comparison} *)
+
+val copy : t -> t
+(** Deep copy preserving ids, values and signs. *)
+
+val equal_structure : t -> t -> bool
+(** Same shape, names and values (ids and signs ignored); children are
+    compared in document order. *)
+
+val equal_annotated : t -> t -> bool
+(** [equal_structure] and equal signs node-for-node. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debugging printer: indented outline with ids and signs. *)

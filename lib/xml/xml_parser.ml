@@ -1,0 +1,241 @@
+type error = { line : int; col : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "line %d, column %d: %s" e.line e.col e.message
+
+exception Parse_error of error
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let fail st message =
+  raise (Parse_error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let eof st = st.pos >= String.length st.input
+
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let advance st =
+  if not (eof st) then begin
+    if st.input.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+    end;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st <> c then fail st (Printf.sprintf "expected %C" c);
+  advance st
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_reference st =
+  (* The '&' has been consumed. *)
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then fail st "unterminated character reference";
+  let name = String.sub st.input start (st.pos - start) in
+  advance st;
+  match name with
+  | "amp" -> '&'
+  | "lt" -> '<'
+  | "gt" -> '>'
+  | "quot" -> '"'
+  | "apos" -> '\''
+  | _ -> fail st (Printf.sprintf "unknown reference &%s;" name)
+
+let parse_attr_value st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | '"' -> advance st
+    | '\000' -> fail st "unterminated attribute value"
+    | '&' ->
+        advance st;
+        Buffer.add_char buf (parse_reference st);
+        loop ()
+    | c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let skip_comment st =
+  (* "<!--" has been consumed. *)
+  let rec loop () =
+    if eof st then fail st "unterminated comment"
+    else if
+      peek st = '-'
+      && st.pos + 2 < String.length st.input
+      && st.input.[st.pos + 1] = '-'
+      && st.input.[st.pos + 2] = '>'
+    then begin
+      advance st; advance st; advance st
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_prolog st =
+  skip_spaces st;
+  if
+    st.pos + 1 < String.length st.input
+    && peek st = '<'
+    && st.input.[st.pos + 1] = '?'
+  then begin
+    while (not (eof st)) && peek st <> '>' do
+      advance st
+    done;
+    expect st '>';
+    skip_spaces st
+  end
+
+(* Attribute list of a start tag. Only [sign] is meaningful; any other
+   attribute is rejected so silent data loss is impossible. *)
+let parse_attributes st =
+  let sign = ref None in
+  let rec loop () =
+    skip_spaces st;
+    if is_name_start (peek st) then begin
+      let name = parse_name st in
+      skip_spaces st;
+      expect st '=';
+      skip_spaces st;
+      let v = parse_attr_value st in
+      (match name with
+      | "sign" -> (
+          match Tree.sign_of_string v with
+          | Some s -> sign := Some s
+          | None -> fail st (Printf.sprintf "invalid sign value %S" v))
+      | _ -> fail st (Printf.sprintf "unsupported attribute %S" name));
+      loop ()
+    end
+  in
+  loop ();
+  !sign
+
+let parse_text st =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | '<' | '\000' -> ()
+    | '&' ->
+        advance st;
+        Buffer.add_char buf (parse_reference st);
+        loop ()
+    | c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let all_spaces s = String.for_all is_space s
+
+let parse input =
+  let st = { input; pos = 0; line = 1; bol = 0 } in
+  try
+    skip_prolog st;
+    (* Leading comments. *)
+    let rec skip_misc () =
+      skip_spaces st;
+      if
+        st.pos + 3 < String.length input
+        && String.sub input st.pos 4 = "<!--"
+      then begin
+        st.pos <- st.pos + 4;
+        skip_comment st;
+        skip_misc ()
+      end
+    in
+    skip_misc ();
+    expect st '<';
+    let root_name = parse_name st in
+    let doc = Tree.create ~root_name in
+    let root = Tree.root doc in
+    Tree.set_sign root (parse_attributes st);
+    (* Parses the rest of an element whose start tag is open, given the
+       node it populates. Returns after consuming the matching end tag
+       (or the self-closing marker). *)
+    let rec finish_element node name =
+      skip_spaces st;
+      match peek st with
+      | '/' ->
+          advance st;
+          expect st '>'
+      | '>' ->
+          advance st;
+          parse_content node name
+      | _ -> fail st "malformed start tag"
+    and parse_content node name =
+      let text = parse_text st in
+      if peek st = '\000' then fail st "unexpected end of input";
+      (* '<' is next *)
+      advance st;
+      match peek st with
+      | '/' ->
+          advance st;
+          let close = parse_name st in
+          if close <> name then
+            fail st
+              (Printf.sprintf "mismatched end tag </%s>, expected </%s>"
+                 close name);
+          skip_spaces st;
+          expect st '>';
+          if not (all_spaces text) then Tree.set_value doc node (Some text)
+      | '!' ->
+          advance st;
+          expect st '-';
+          expect st '-';
+          skip_comment st;
+          parse_content node name
+      | _ ->
+          if not (all_spaces text) then
+            fail st "mixed content is not supported";
+          let child_name = parse_name st in
+          let child = Tree.add_child doc node child_name in
+          Tree.set_sign child (parse_attributes st);
+          finish_element child child_name;
+          parse_content node name
+    in
+    finish_element root root_name;
+    skip_spaces st;
+    if not (eof st) then fail st "trailing content after the root element";
+    Ok doc
+  with Parse_error e -> Error e
+
+let parse_exn input =
+  match parse input with Ok t -> t | Error e -> raise (Parse_error e)

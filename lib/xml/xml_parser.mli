@@ -1,0 +1,20 @@
+(** Parser for the XML subset produced by {!Serializer}.
+
+    Supported: element tags, self-closing tags, a single [sign]
+    attribute per element (restored into the node's annotation slot),
+    text content in leaf elements, character references for the five
+    escapes, comments and an optional XML declaration.  Mixed content
+    (text interleaved with elements) is rejected, matching the
+    document model of the paper. *)
+
+type error = { line : int; col : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Parse_error of error
+
+val parse : string -> (Tree.t, error) result
+(** Parses a complete document. *)
+
+val parse_exn : string -> Tree.t
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,47 @@
+module Tree = Xmlac_xml.Tree
+module Xml_parser = Xmlac_xml.Xml_parser
+module Eval = Xmlac_xpath.Eval
+
+type t = {
+  docs : (string, Tree.t) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { docs = Hashtbl.create 8; order = [] }
+
+let add t ~name doc =
+  if Hashtbl.mem t.docs name then
+    invalid_arg ("Store.add: duplicate document " ^ name);
+  Hashtbl.replace t.docs name doc;
+  t.order <- name :: t.order
+
+let load_xml t ~name text =
+  match Xml_parser.parse text with
+  | Ok doc ->
+      add t ~name doc;
+      Ok doc
+  | Error e -> Error (Format.asprintf "%a" Xml_parser.pp_error e)
+
+let doc t name = Hashtbl.find t.docs name
+let doc_opt t name = Hashtbl.find_opt t.docs name
+
+let remove t name =
+  Hashtbl.remove t.docs name;
+  t.order <- List.filter (fun n -> not (String.equal n name)) t.order
+
+let names t = List.rev t.order
+
+let annotate node sign = Tree.set_sign node (Some sign)
+
+let annotate_all doc expr sign =
+  let nodes = Eval.eval doc expr in
+  List.iter (fun n -> annotate n sign) nodes;
+  List.length nodes
+
+let clear_annotations = Tree.clear_signs
+
+let eval t ~doc:name expr = Eval.eval (doc t name) expr
+
+let eval_ids t ~doc:name expr =
+  List.sort Stdlib.compare
+    (List.map (fun (n : Tree.node) -> n.Tree.id) (eval t ~doc:name expr))

@@ -1,0 +1,45 @@
+(** The native XML store.
+
+    Plays the role of MonetDB/XQuery in the paper: documents are kept
+    as trees, accessibility annotations live directly on the nodes (the
+    [sign] attribute of Section 5.2), and queries are evaluated by the
+    XPath engine.  The [xmlac:annotate] XQuery function of the paper
+    becomes {!annotate}: insert-or-replace of the sign. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> name:string -> Xmlac_xml.Tree.t -> unit
+(** Registers a document. Raises [Invalid_argument] on duplicates. *)
+
+val load_xml : t -> name:string -> string -> (Xmlac_xml.Tree.t, string) result
+(** Parses XML text and registers the result — the native "loading"
+    path measured in Figure 9. *)
+
+val doc : t -> string -> Xmlac_xml.Tree.t
+(** @raise Not_found for unregistered names. *)
+
+val doc_opt : t -> string -> Xmlac_xml.Tree.t option
+val remove : t -> string -> unit
+val names : t -> string list
+
+(** {1 Annotation} *)
+
+val annotate : Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign -> unit
+(** [xmlac:annotate($n, $val)] — sets or replaces the node's sign. *)
+
+val annotate_all :
+  Xmlac_xml.Tree.t -> Xmlac_xpath.Ast.expr -> Xmlac_xml.Tree.sign -> int
+(** Annotates every node selected by the expression; returns how many
+    were touched. *)
+
+val clear_annotations : Xmlac_xml.Tree.t -> unit
+
+(** {1 Queries} *)
+
+val eval : t -> doc:string -> Xmlac_xpath.Ast.expr -> Xmlac_xml.Tree.node list
+
+val eval_ids : t -> doc:string -> Xmlac_xpath.Ast.expr -> int list
+(** Selected universal ids, ascending — directly comparable with
+    {!Xmlac_shrex.Translate.eval_ids}. *)

@@ -1,0 +1,23 @@
+module Tree = Xmlac_xml.Tree
+module Eval = Xmlac_xpath.Eval
+
+let delete doc expr =
+  let targets = Eval.eval doc expr in
+  (* Deleting an ancestor first detaches its descendants, so skip any
+     target no longer in the document. *)
+  List.fold_left
+    (fun count (n : Tree.node) ->
+      if Tree.mem doc n then begin
+        if Tree.parent n = None then
+          invalid_arg "Update.delete: cannot delete the document root";
+        Tree.delete doc n;
+        count + 1
+      end
+      else count)
+    0 targets
+
+let insert_nodes doc ~at ~fragment =
+  let targets = Eval.eval doc at in
+  List.map (fun parent -> Tree.graft doc parent fragment) targets
+
+let insert doc ~at ~fragment = List.length (insert_nodes doc ~at ~fragment)

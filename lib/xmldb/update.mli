@@ -1,0 +1,30 @@
+(** Document updates on the native store.
+
+    The paper's updates are "XPath expressions that specify the
+    location of the nodes to be inserted or deleted" (Section 5.3);
+    deletion removes the designated nodes together with their
+    subtrees. *)
+
+val delete : Xmlac_xml.Tree.t -> Xmlac_xpath.Ast.expr -> int
+(** Deletes every node the expression selects (with its subtree);
+    returns the number of subtree roots removed.  Selecting the
+    document root raises [Invalid_argument] — a document cannot delete
+    itself. *)
+
+val insert :
+  Xmlac_xml.Tree.t ->
+  at:Xmlac_xpath.Ast.expr ->
+  fragment:Xmlac_xml.Tree.t ->
+  int
+(** Grafts a copy of the fragment under every node selected by [at];
+    returns the number of copies inserted.  Fresh universal ids are
+    assigned to the copies. *)
+
+val insert_nodes :
+  Xmlac_xml.Tree.t ->
+  at:Xmlac_xpath.Ast.expr ->
+  fragment:Xmlac_xml.Tree.t ->
+  Xmlac_xml.Tree.node list
+(** Like {!insert}, returning the freshly grafted subtree roots — the
+    engine mirrors exactly these nodes (same universal ids) into the
+    relational stores. *)

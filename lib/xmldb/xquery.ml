@@ -1,0 +1,224 @@
+module Tree = Xmlac_xml.Tree
+module Xp = Xmlac_xpath
+
+type action = Return | Annotate of Tree.sign
+
+type t = {
+  doc_name : string;
+  action : action;
+}
+
+type outcome =
+  | Nodes of Tree.node list
+  | Annotated of int
+
+(* Set expressions over node sets, with XPath leaves. *)
+type setexpr =
+  | Path of Xp.Ast.expr
+  | Union of setexpr * setexpr
+  | Except of setexpr * setexpr
+  | Intersect of setexpr * setexpr
+
+exception Err of string
+
+type state = { input : string; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Err m)) fmt
+
+let len st = String.length st.input
+let peek st = if st.pos >= len st then '\000' else st.input.[st.pos]
+
+let skip_ws st =
+  while
+    st.pos < len st
+    && (match st.input.[st.pos] with
+       | ' ' | '\t' | '\n' | '\r' -> true
+       | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let eat_keyword st kw =
+  skip_ws st;
+  let n = String.length kw in
+  if st.pos + n <= len st && String.sub st.input st.pos n = kw then begin
+    st.pos <- st.pos + n;
+    true
+  end
+  else false
+
+let expect st kw = if not (eat_keyword st kw) then fail "expected %S" kw
+
+let parse_string_literal st =
+  skip_ws st;
+  if peek st <> '"' then fail "expected a string literal";
+  st.pos <- st.pos + 1;
+  let start = st.pos in
+  while st.pos < len st && peek st <> '"' do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos >= len st then fail "unterminated string literal";
+  let s = String.sub st.input start (st.pos - start) in
+  st.pos <- st.pos + 1;
+  s
+
+let parse_var st =
+  skip_ws st;
+  if peek st <> '$' then fail "expected a variable";
+  st.pos <- st.pos + 1;
+  let start = st.pos in
+  while
+    st.pos < len st
+    && (match peek st with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+       | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail "empty variable name";
+  String.sub st.input start (st.pos - start)
+
+(* An XPath atom runs until a token that cannot belong to the
+   expression at depth 0: whitespace, ')' or ','. Brackets nest. *)
+let parse_xpath_atom st =
+  skip_ws st;
+  let start = st.pos in
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue && st.pos < len st do
+    (match peek st with
+    | '[' -> incr depth
+    | ']' -> decr depth
+    | '(' when !depth > 0 -> ()
+    | ')' when !depth = 0 -> continue := false
+    | (' ' | '\t' | '\n' | '\r' | ',') when !depth = 0 -> continue := false
+    | _ -> ());
+    if !continue then st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.input start (st.pos - start) in
+  if text = "" then fail "expected an XPath expression";
+  match Xp.Parser.parse text with
+  | Ok e -> e
+  | Error e -> fail "bad XPath %S (%s)" text (Format.asprintf "%a" Xp.Parser.pp_error e)
+
+let rec parse_setexpr st =
+  let atom = parse_atom st in
+  parse_ops st atom
+
+and parse_atom st =
+  skip_ws st;
+  if peek st = '(' then begin
+    st.pos <- st.pos + 1;
+    let e = parse_setexpr st in
+    expect st ")";
+    e
+  end
+  else Path (parse_xpath_atom st)
+
+and parse_ops st acc =
+  skip_ws st;
+  if eat_keyword st "union" then parse_ops st (Union (acc, parse_atom st))
+  else if eat_keyword st "except" then parse_ops st (Except (acc, parse_atom st))
+  else if eat_keyword st "intersect" then
+    parse_ops st (Intersect (acc, parse_atom st))
+  else acc
+
+let parse_source st =
+  expect st "doc";
+  expect st "(";
+  let doc_name = parse_string_literal st in
+  expect st ")";
+  expect st "(";
+  let e = parse_setexpr st in
+  expect st ")";
+  (doc_name, e)
+
+(* Evaluation: node sets as id-keyed tables plus document order from a
+   final filter pass. *)
+let rec eval_set doc = function
+  | Path e ->
+      let set = Hashtbl.create 64 in
+      List.iter
+        (fun (n : Tree.node) -> Hashtbl.replace set n.Tree.id ())
+        (Xp.Eval.eval doc e);
+      set
+  | Union (a, b) ->
+      let sa = eval_set doc a and sb = eval_set doc b in
+      Hashtbl.iter (fun id () -> Hashtbl.replace sa id ()) sb;
+      sa
+  | Except (a, b) ->
+      let sa = eval_set doc a and sb = eval_set doc b in
+      Hashtbl.iter (fun id () -> Hashtbl.remove sa id) sb;
+      sa
+  | Intersect (a, b) ->
+      let sa = eval_set doc a and sb = eval_set doc b in
+      let out = Hashtbl.create (Hashtbl.length sa) in
+      Hashtbl.iter
+        (fun id () -> if Hashtbl.mem sb id then Hashtbl.replace out id ())
+        sa;
+      out
+
+let nodes_of_set doc set =
+  List.filter (fun (n : Tree.node) -> Hashtbl.mem set n.Tree.id) (Tree.nodes doc)
+
+let parse input =
+  let st = { input; pos = 0 } in
+  try
+    skip_ws st;
+    let summary, evaluate =
+      if eat_keyword st "for" then begin
+        let v = parse_var st in
+        expect st "in";
+        let doc_name, setexpr = parse_source st in
+        expect st "return";
+        skip_ws st;
+        let action =
+          if eat_keyword st "xmlac:annotate" then begin
+            expect st "(";
+            let v' = parse_var st in
+            if v' <> v then fail "unbound variable $%s" v';
+            expect st ",";
+            let sign_text = parse_string_literal st in
+            expect st ")";
+            match Tree.sign_of_string sign_text with
+            | Some s -> Annotate s
+            | None -> fail "invalid sign %S" sign_text
+          end
+          else begin
+            let v' = parse_var st in
+            if v' <> v then fail "unbound variable $%s" v';
+            Return
+          end
+        in
+        ( { doc_name; action },
+          fun doc ->
+            let nodes = nodes_of_set doc (eval_set doc setexpr) in
+            match action with
+            | Return -> Nodes nodes
+            | Annotate s ->
+                List.iter (fun n -> Store.annotate n s) nodes;
+                Annotated (List.length nodes) )
+      end
+      else begin
+        let doc_name, setexpr = parse_source st in
+        ( { doc_name; action = Return },
+          fun doc -> Nodes (nodes_of_set doc (eval_set doc setexpr)) )
+      end
+    in
+    skip_ws st;
+    if st.pos <> len st then fail "trailing input at offset %d" st.pos;
+    Ok (summary, evaluate)
+  with Err m -> Error m
+
+let run store input =
+  match parse input with
+  | Error _ as e -> e
+  | Ok (summary, evaluate) -> (
+      match Store.doc_opt store summary.doc_name with
+      | None -> Error (Printf.sprintf "unknown document %S" summary.doc_name)
+      | Some doc -> Ok (evaluate doc))
+
+let run_exn store input =
+  match run store input with
+  | Ok r -> r
+  | Error m -> invalid_arg ("Xquery.run: " ^ m)

@@ -1,0 +1,231 @@
+open Ast
+module P = Pattern
+
+let num = float_of_string_opt
+
+(* Constraint implication. Eq constants pin the value, so implication
+   reduces to evaluating the target comparison on the pinned constant.
+   Order-order implications are decided numerically only; anything else
+   is conservatively refused. *)
+let implies (cp : cmp * string) (cq : cmp * string) =
+  if cp = cq then true
+  else
+    match (cp, cq) with
+    | (Eq, d), (op, e) -> cmp_holds op d e
+    | (Neq, d), (Neq, e) -> cmp_holds Eq d e
+    | (op1, d), (op2, e) -> (
+        match (num d, num e) with
+        | Some a, Some b -> (
+            match (op1, op2) with
+            | Lt, Lt | Lt, Le | Le, Le -> a <= b
+            | Le, Lt -> a < b
+            | Gt, Gt | Gt, Ge | Ge, Ge -> a >= b
+            | Ge, Gt -> a > b
+            | Lt, Neq | Le, Neq -> a < b
+            | Gt, Neq | Ge, Neq -> a > b
+            | _ -> false)
+        | _ -> false)
+
+(* Label compatibility for mapping a q-node onto a p-node: q's
+   constraints must be guaranteed by p's. *)
+let compat (u : P.node) (v : P.node) =
+  let label_ok =
+    match (u.P.label, v.P.label) with
+    | P.Root, P.Root -> true
+    | P.Root, _ | _, P.Root -> false
+    | P.Star, _ -> true
+    | P.Label _, P.Star -> false
+    | P.Label a, P.Label b -> String.equal a b
+  in
+  label_ok
+  && List.for_all
+       (fun cq -> List.exists (fun cp -> implies cp cq) v.P.vcons)
+       u.P.vcons
+
+(* Homomorphism on qualifier subtrees: u (from q) embeds at v (in p). *)
+let make_embed () =
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let desc_memo : (int, P.node list) Hashtbl.t = Hashtbl.create 16 in
+  let descendants v =
+    match Hashtbl.find_opt desc_memo v.P.pid with
+    | Some d -> d
+    | None ->
+        let d = P.descendants v in
+        Hashtbl.replace desc_memo v.P.pid d;
+        d
+  in
+  let rec embed (u : P.node) (v : P.node) =
+    let key = (u.P.pid, v.P.pid) in
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        (* Break potential cycles defensively (patterns are trees, so
+           none arise; the placeholder is never observed). *)
+        Hashtbl.replace memo key false;
+        let r =
+          compat u v
+          && List.for_all
+               (fun (e, u') ->
+                 match e with
+                 | P.Echild ->
+                     List.exists
+                       (fun (e', v') -> e' = P.Echild && embed u' v')
+                       v.P.kids
+                 | P.Edesc ->
+                     List.exists (fun v' -> embed u' v') (descendants v))
+               u.P.kids
+        in
+        Hashtbl.replace memo key r;
+        r
+  in
+  embed
+
+(* Spine-to-spine dynamic program.  q's spine must map monotonically
+   into p's spine with root->root and output->output; a child edge in q
+   must land exactly one child edge further in p, a descendant edge may
+   skip ahead arbitrarily. At every anchored pair, the off-spine
+   qualifier subtrees of the q node must embed below the p node. *)
+let hom_exists ~(qp : P.t) ~(pp : P.t) =
+  let embed = make_embed () in
+  let q_spine = Array.of_list qp.P.spine in
+  let p_spine = Array.of_list pp.P.spine in
+  let q_edges = Array.of_list (P.spine_edges qp) in
+  let p_edges = Array.of_list (P.spine_edges pp) in
+  let k = Array.length q_spine in
+  let m = Array.length p_spine in
+  (* Off-spine kids of a q spine node: all kids except the next spine
+     node. *)
+  let off_spine_kids i =
+    let n = q_spine.(i) in
+    let next_pid =
+      if i + 1 < k then Some q_spine.(i + 1).P.pid else None
+    in
+    List.filter
+      (fun ((_, kid) : P.edge * P.node) ->
+        match next_pid with Some pid -> kid.P.pid <> pid | None -> true)
+      n.P.kids
+  in
+  let anchors_ok i j =
+    compat q_spine.(i) p_spine.(j)
+    && List.for_all
+         (fun (e, u') ->
+           match e with
+           | P.Echild ->
+               List.exists
+                 (fun (e', v') -> e' = P.Echild && embed u' v')
+                 p_spine.(j).P.kids
+           | P.Edesc ->
+               List.exists (fun v' -> embed u' v') (P.descendants p_spine.(j)))
+         (off_spine_kids i)
+  in
+  let feasible = Array.make_matrix k m false in
+  feasible.(0).(0) <- anchors_ok 0 0;
+  for i = 0 to k - 2 do
+    for j = 0 to m - 1 do
+      if feasible.(i).(j) then begin
+        match q_edges.(i) with
+        | P.Echild ->
+            if j + 1 < m && p_edges.(j) = P.Echild && anchors_ok (i + 1) (j + 1)
+            then feasible.(i + 1).(j + 1) <- true
+        | P.Edesc ->
+            for j' = j + 1 to m - 1 do
+              if (not feasible.(i + 1).(j')) && anchors_ok (i + 1) j' then
+                feasible.(i + 1).(j') <- true
+            done
+      end
+    done
+  done;
+  feasible.(k - 1).(m - 1)
+
+let contained_in p q =
+  let pp = P.of_expr p and qp = P.of_expr q in
+  hom_exists ~qp ~pp
+
+let equivalent p q = contained_in p q && contained_in q p
+
+let comparable p q = contained_in p q || contained_in q p
+
+(* ------------------------------------------------------------------ *)
+(* Schema-aware containment *)
+
+module Sg = Xmlac_xml.Schema_graph
+module Dtd = Xmlac_xml.Dtd
+
+let test_ok test ty =
+  match test with Wildcard -> true | Name l -> String.equal l ty
+
+(* Child-only realizations of an expression's spine under the schema:
+   every descendant step is replaced by each label chain the DTD
+   allows, the step's qualifiers landing on the chain's last label.
+   Qualifiers themselves are kept verbatim (they only shrink the
+   semantics, so the realizations still cover the expression).  [None]
+   when the realization set explodes past [limit]. *)
+let realizations sg (e : expr) ~limit =
+  let dtd = Sg.dtd sg in
+  (* Chains for one step from a context type ([None] = virtual root);
+     each chain lists the labels walked, ending at the landing type. *)
+  let step_chains ctx (s : step) =
+    match (ctx, s.axis) with
+    | None, Child ->
+        let root_ty = Dtd.root dtd in
+        if test_ok s.test root_ty then [ [ root_ty ] ] else []
+    | None, Descendant ->
+        List.concat_map
+          (fun path ->
+            match List.rev path with
+            | last :: _ when test_ok s.test last -> [ path ]
+            | _ -> [])
+          (Sg.root_paths sg)
+    | Some ty, Child ->
+        List.filter_map
+          (fun child -> if test_ok s.test child then Some [ child ] else None)
+          (Dtd.child_types dtd ty)
+    | Some ty, Descendant ->
+        List.concat_map
+          (fun dst ->
+            if test_ok s.test dst then
+              List.filter_map
+                (fun path ->
+                  match path with [] | [ _ ] -> None | _ :: rest -> Some rest)
+                (Sg.paths_between sg ~src:ty ~dst)
+            else [])
+          (Dtd.element_types dtd)
+  in
+  let exception Too_many in
+  let count = ref 0 in
+  (* Returns reversed step lists. *)
+  let rec go ctx steps acc_rev =
+    match steps with
+    | [] ->
+        incr count;
+        if !count > limit then raise Too_many;
+        [ acc_rev ]
+    | s :: rest ->
+        List.concat_map
+          (fun chain ->
+            let rec attach acc_rev = function
+              | [] -> assert false
+              | [ last ] ->
+                  (* The chain's endpoint carries the step's quals. *)
+                  ( { axis = Child; test = Name last; quals = s.quals }
+                    :: acc_rev,
+                    last )
+              | l :: more ->
+                  attach
+                    ({ axis = Child; test = Name l; quals = [] } :: acc_rev)
+                    more
+            in
+            let acc_rev, landing = attach acc_rev chain in
+            go (Some landing) rest acc_rev)
+          (step_chains ctx s)
+  in
+  match go None e.steps [] with
+  | rev_lists -> Some (List.map (fun rl -> { steps = List.rev rl }) rev_lists)
+  | exception Too_many -> None
+
+let contained_in_schema sg p q =
+  contained_in p q
+  ||
+  match realizations sg p ~limit:256 with
+  | None -> false
+  | Some rs -> List.for_all (fun r -> contained_in r q) rs

@@ -1,0 +1,51 @@
+(** XPath containment for XP(/, //, *, \[\], =).
+
+    [contained_in p q] decides [p ⊑ q] — for every tree [T],
+    [\[\[p\]\](T) ⊆ \[\[q\]\](T)] — via the canonical homomorphism test:
+    [p ⊑ q] iff there is a homomorphism from pattern(q) into
+    pattern(p) mapping root to root and output to output, child edges
+    to child edges, descendant edges to downward paths of length >= 1,
+    labels compatibly ([*] in q matches anything; a name in q requires
+    the same name in p), and value constraints by implication.
+
+    The homomorphism test is sound for the whole fragment, and complete
+    on the sub-fragments used throughout the paper (in particular
+    XP(/, //, \[\]) and XP(/, //, star) — Miklau & Suciu 2004); in the
+    presence of both [*] and branching it is a sound
+    under-approximation, which only ever makes the optimizer remove
+    fewer rules and the trigger fire more rules: safety is
+    preserved. *)
+
+val contained_in : Ast.expr -> Ast.expr -> bool
+(** [contained_in p q] is [p ⊑ q]. *)
+
+val equivalent : Ast.expr -> Ast.expr -> bool
+(** Mutual containment. *)
+
+val comparable : Ast.expr -> Ast.expr -> bool
+(** [p ⊑ q or q ⊑ p] — the relation used by the paper's dependency
+    graph and Trigger algorithm. *)
+
+val implies : Ast.cmp * string -> Ast.cmp * string -> bool
+(** [implies cp cq]: every value satisfying constraint [cp] satisfies
+    [cq].  Conservative (may answer [false] on exotic mixed
+    numeric/string cases); exposed for tests. *)
+
+(** {1 Schema-aware containment}
+
+    The paper's conclusion calls for schema-aware optimizations "as
+    they can produce more accurate results".  [contained_in_schema]
+    decides containment {e over documents valid for the schema}: it
+    first discards the parts of [p] the schema rules out, then checks
+    that every child-only realization of [p]'s spine (descendant steps
+    expanded through the schema's label chains) is contained in [q] by
+    the homomorphism test.  This proves judgements the pure test
+    cannot, e.g. [//dept ⊑ /hospital/dept] under the hospital DTD
+    (every dept node sits right below the root), while remaining sound
+    for valid documents. *)
+
+val contained_in_schema :
+  Xmlac_xml.Schema_graph.t -> Ast.expr -> Ast.expr -> bool
+(** [contained_in_schema sg p q]: on every document valid against
+    [sg]'s DTD, [\[\[p\]\] ⊆ \[\[q\]\]].  Implies nothing about invalid
+    documents.  At least as complete as {!contained_in}. *)

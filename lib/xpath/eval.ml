@@ -1,0 +1,106 @@
+open Ast
+module Tree = Xmlac_xml.Tree
+
+(* Node sets stay in document order.  Steps stream over the tree
+   (children lists / preorder subtree walks) instead of materializing
+   descendant lists, qualifiers are evaluated with early exit, and a
+   per-step seen-set removes the duplicates that nested context nodes
+   would otherwise produce. *)
+
+let test_ok test (n : Tree.node) =
+  match test with Wildcard -> true | Name l -> String.equal l n.Tree.name
+
+exception Found
+
+let rec iter_descendants f (n : Tree.node) =
+  List.iter
+    (fun c ->
+      f c;
+      iter_descendants f c)
+    n.Tree.children
+
+(* Qualifier truth at a context node, short-circuited. *)
+let rec qual_ok (n : Tree.node) = function
+  | Exists p -> exists_rel n p (fun _ -> true)
+  | Value (p, op, d) ->
+      exists_rel n p (fun (m : Tree.node) ->
+          match m.Tree.value with
+          | Some v -> cmp_holds op v d
+          | None -> false)
+  | And (a, b) -> qual_ok n a && qual_ok n b
+
+(* Does some node reachable from [n] via [p] satisfy [accept]?  The
+   empty path tests the context node itself. *)
+and exists_rel (n : Tree.node) (p : path) accept =
+  match p with
+  | [] -> accept n
+  | s :: rest ->
+      let candidate (c : Tree.node) =
+        if
+          test_ok s.test c
+          && List.for_all (qual_ok c) s.quals
+          && exists_rel c rest accept
+        then raise Found
+      in
+      (try
+         (match s.axis with
+         | Child -> List.iter candidate n.Tree.children
+         | Descendant -> iter_descendants candidate n);
+         false
+       with Found -> true)
+
+(* One step applied to a context list (document order in, document
+   order out). *)
+let select_step context (s : step) =
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  let consider (c : Tree.node) =
+    if test_ok s.test c && not (Hashtbl.mem seen c.Tree.id) then begin
+      Hashtbl.replace seen c.Tree.id ();
+      if List.for_all (qual_ok c) s.quals then out := c :: !out
+    end
+  in
+  List.iter
+    (fun (n : Tree.node) ->
+      match s.axis with
+      | Child -> List.iter consider n.Tree.children
+      | Descendant -> iter_descendants consider n)
+    context;
+  List.rev !out
+
+let select_path context p = List.fold_left select_step context p
+
+(* Absolute evaluation starts from the virtual document node, whose
+   only child is the root element and whose descendants are every node
+   of the tree. *)
+let eval t (e : expr) =
+  match e.steps with
+  | [] -> [ Tree.root t ]
+  | first :: rest ->
+      let root = Tree.root t in
+      let initial =
+        let matching (n : Tree.node) =
+          test_ok first.test n && List.for_all (qual_ok n) first.quals
+        in
+        match first.axis with
+        | Child -> if matching root then [ root ] else []
+        | Descendant ->
+            let out = ref [] in
+            let consider n = if matching n then out := n :: !out in
+            consider root;
+            iter_descendants consider root;
+            List.rev !out
+      in
+      select_path initial rest
+
+let eval_rel _t context p = select_path [ context ] p
+
+let matches t e (n : Tree.node) =
+  List.exists (fun (m : Tree.node) -> m.Tree.id = n.Tree.id) (eval t e)
+
+let node_set t e =
+  let set = Hashtbl.create 64 in
+  List.iter (fun (n : Tree.node) -> Hashtbl.replace set n.Tree.id ()) (eval t e);
+  set
+
+let count t e = List.length (eval t e)

@@ -1,0 +1,22 @@
+(** Evaluation of XPath expressions over {!Xmlac_xml.Tree} documents.
+
+    [\[\[p\]\](T)] in the paper's notation: the set of nodes obtained by
+    evaluating the absolute expression [p] on the root of [T].  Node
+    sets are returned deduplicated, in document (preorder) order. *)
+
+val eval : Xmlac_xml.Tree.t -> Ast.expr -> Xmlac_xml.Tree.node list
+(** Evaluate an absolute expression on a document. *)
+
+val eval_rel :
+  Xmlac_xml.Tree.t -> Xmlac_xml.Tree.node -> Ast.path -> Xmlac_xml.Tree.node list
+(** Evaluate a relative path from a context node (the empty path
+    returns the context node itself). *)
+
+val matches : Xmlac_xml.Tree.t -> Ast.expr -> Xmlac_xml.Tree.node -> bool
+(** [matches t e n] iff [n] is in [eval t e]. *)
+
+val node_set : Xmlac_xml.Tree.t -> Ast.expr -> (int, unit) Hashtbl.t
+(** The answer as a set of universal node ids; convenient for the
+    UNION/EXCEPT combinations of Section 5.2. *)
+
+val count : Xmlac_xml.Tree.t -> Ast.expr -> int

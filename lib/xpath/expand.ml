@@ -1,0 +1,88 @@
+open Ast
+module Sg = Xmlac_xml.Schema_graph
+
+(* End types of an absolute stripped prefix under the schema; used to
+   anchor descendant expansion of qualifier paths. *)
+let end_types schema prefix =
+  match schema with
+  | None -> []
+  | Some sg -> Schema_match.selected_types sg { steps = prefix }
+
+(* All child-only label chains realizing [descendant::dst] from any of
+   [ctx_types]; each chain excludes the source type and ends with
+   [dst]. *)
+let descendant_chains sg ctx_types dst =
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun path ->
+          match path with
+          | [] | [ _ ] -> None
+          | _ :: rest -> Some rest (* drop the source type itself *))
+        (Sg.paths_between sg ~src ~dst))
+    ctx_types
+  |> List.sort_uniq compare
+
+let expand ?schema (e : expr) =
+  let acc = ref [] in
+  let emit steps = acc := { steps } :: !acc in
+  (* Realizations of one qualifier step as child-only (or verbatim)
+     step chains, given the types the prefix may land on. *)
+  let realize_step prefix (s : step) : step list list =
+    match (s.axis, s.test, schema) with
+    | Descendant, Name dst, Some sg -> (
+        match end_types schema prefix with
+        | [] -> [ [ step Descendant s.test ] ]
+        | ctx -> (
+            match descendant_chains sg ctx dst with
+            | [] -> [ [ step Descendant s.test ] ]
+            | chains ->
+                List.map
+                  (fun chain -> List.map (fun l -> step Child (Name l)) chain)
+                  chains))
+    | _ -> [ [ step s.axis s.test ] ]
+  in
+  let rec walk_qual prefix = function
+    | And (a, b) ->
+        walk_qual prefix a;
+        walk_qual prefix b
+    | Exists p | Value (p, _, _) -> walk_rel prefix p
+  and walk_rel prefix = function
+    | [] -> ()
+    | s :: rest ->
+        List.iter
+          (fun chain ->
+            (* Every intermediate node of the chain is a prefix the
+               update may touch. *)
+            let rec along prefix = function
+              | [] -> prefix
+              | st :: more ->
+                  let prefix = prefix @ [ st ] in
+                  emit prefix;
+                  along prefix more
+            in
+            let prefix' = along prefix chain in
+            List.iter (walk_qual prefix') s.quals;
+            walk_rel prefix' rest)
+          (realize_step prefix s)
+  in
+  let rec walk_spine prefix = function
+    | [] -> prefix
+    | s :: rest ->
+        let prefix = prefix @ [ step s.axis s.test ] in
+        List.iter (walk_qual prefix) s.quals;
+        walk_spine prefix rest
+  in
+  let spine = walk_spine [] e.steps in
+  emit spine;
+  (* Dedup syntactically. *)
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      let key = Pp.expr_to_string x in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    (List.rev !acc)

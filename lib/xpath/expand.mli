@@ -1,0 +1,24 @@
+(** Rule expansion for the re-annotation trigger (Section 5.3).
+
+    [Expand(p)] flattens an access-control rule's resource into the set
+    of predicate-free absolute paths that the rule's applicability
+    depends on:
+
+    - the rule's selection spine with qualifiers stripped
+      ([//patient\[treatment\]] contributes [//patient]); and
+    - for every qualifier path, the root-anchored chain obtained by
+      appending it to the spine prefix it qualifies, {e including every
+      intermediate prefix} ([//patient\[treatment\]] contributes
+      [//patient/treatment]).
+
+    When a schema graph is supplied, descendant axes {e inside
+    qualifier paths} are replaced by all child-only label chains the
+    schema allows, as the paper prescribes:
+    [//patient\[.//experimental\]] expands to
+    [//patient/treatment] and [//patient/treatment/experimental].
+    Descendant steps whose node test is [*] are kept as-is (the chain
+    set would be the whole schema); this only makes the trigger less
+    selective, never unsound. *)
+
+val expand : ?schema:Xmlac_xml.Schema_graph.t -> Ast.expr -> Ast.expr list
+(** Deduplicated; always contains the stripped selection spine. *)

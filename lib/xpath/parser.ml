@@ -1,0 +1,187 @@
+open Ast
+
+type error = { pos : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "offset %d: %s" e.pos e.message
+
+exception Err of error
+
+type state = { input : string; mutable pos : int }
+
+let fail st message = raise (Err { pos = st.pos; message })
+
+let len st = String.length st.input
+let eof st = st.pos >= len st
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= len st then '\000' else st.input.[st.pos + 1]
+
+let skip_spaces st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t') do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+(* Names may contain '.', but a bare '.' (context-node step) must not
+   be swallowed as a name, so require a name-start character first. *)
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_ntst st =
+  if peek st = '*' then begin
+    st.pos <- st.pos + 1;
+    Wildcard
+  end
+  else Name (parse_name st)
+
+let parse_const st =
+  skip_spaces st;
+  match peek st with
+  | ('"' | '\'') as quote ->
+      st.pos <- st.pos + 1;
+      let start = st.pos in
+      while (not (eof st)) && peek st <> quote do
+        st.pos <- st.pos + 1
+      done;
+      if eof st then fail st "unterminated string constant";
+      let s = String.sub st.input start (st.pos - start) in
+      st.pos <- st.pos + 1;
+      s
+  | c when (c >= '0' && c <= '9') || c = '-' ->
+      let start = st.pos in
+      st.pos <- st.pos + 1;
+      while
+        (not (eof st))
+        && (let c = peek st in
+            (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+'
+            || c = '-')
+      do
+        st.pos <- st.pos + 1
+      done;
+      String.sub st.input start (st.pos - start)
+  | _ -> fail st "expected a constant"
+
+let parse_cmp st =
+  skip_spaces st;
+  match (peek st, peek2 st) with
+  | '=', _ ->
+      st.pos <- st.pos + 1;
+      Some Eq
+  | '!', '=' ->
+      st.pos <- st.pos + 2;
+      Some Neq
+  | '<', '=' ->
+      st.pos <- st.pos + 2;
+      Some Le
+  | '<', _ ->
+      st.pos <- st.pos + 1;
+      Some Lt
+  | '>', '=' ->
+      st.pos <- st.pos + 2;
+      Some Ge
+  | '>', _ ->
+      st.pos <- st.pos + 1;
+      Some Gt
+  | _ -> None
+
+(* A separator before a step: '//' gives Descendant, '/' gives Child.
+   Returns None when no separator is present. *)
+let parse_sep st =
+  if peek st = '/' then
+    if peek2 st = '/' then begin
+      st.pos <- st.pos + 2;
+      Some Descendant
+    end
+    else begin
+      st.pos <- st.pos + 1;
+      Some Child
+    end
+  else None
+
+let rec parse_steps st ~first_axis =
+  let rec loop acc axis =
+    let test = parse_ntst st in
+    let quals = parse_quals st in
+    let acc = { axis; test; quals } :: acc in
+    match parse_sep st with
+    | Some axis -> loop acc axis
+    | None -> List.rev acc
+  in
+  loop [] first_axis
+
+and parse_quals st =
+  let rec loop acc =
+    if peek st = '[' then begin
+      st.pos <- st.pos + 1;
+      let q = parse_conj st in
+      skip_spaces st;
+      if peek st <> ']' then fail st "expected ']'";
+      st.pos <- st.pos + 1;
+      loop (q :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+and parse_conj st =
+  let a = parse_atom st in
+  skip_spaces st;
+  if
+    st.pos + 3 <= len st
+    && String.sub st.input st.pos 3 = "and"
+    && (st.pos + 3 = len st || not (is_name_char st.input.[st.pos + 3]))
+  then begin
+    st.pos <- st.pos + 3;
+    skip_spaces st;
+    And (a, parse_conj st)
+  end
+  else a
+
+and parse_atom st =
+  skip_spaces st;
+  let path =
+    if peek st = '.' then begin
+      st.pos <- st.pos + 1;
+      match parse_sep st with
+      | Some axis -> parse_steps st ~first_axis:axis
+      | None -> [] (* bare '.', the context node *)
+    end
+    else parse_steps st ~first_axis:Child
+  in
+  match parse_cmp st with
+  | Some op -> Value (path, op, parse_const st)
+  | None -> (
+      match path with
+      | [] -> fail st "bare '.' must be followed by a comparison"
+      | _ -> Exists path)
+
+let parse input =
+  let st = { input; pos = 0 } in
+  try
+    match parse_sep st with
+    | None -> Error { pos = 0; message = "expression must start with '/' or '//'" }
+    | Some axis ->
+        let steps = parse_steps st ~first_axis:axis in
+        skip_spaces st;
+        if not (eof st) then
+          Error { pos = st.pos; message = "trailing characters" }
+        else Ok { steps }
+  with Err e -> Error e
+
+let parse_exn input =
+  match parse input with
+  | Ok e -> e
+  | Error e ->
+      invalid_arg
+        (Format.asprintf "Xpath.Parser.parse %S: %a" input pp_error e)

@@ -1,0 +1,21 @@
+(** Parser for the abbreviated XPath fragment.
+
+    Accepted forms (all from the paper):
+    - [//patient], [/hospital/dept]
+    - [//patient\[treatment\]/name]
+    - [//patient\[.//experimental\]]
+    - [//regular\[med = "celecoxib"\]], [//regular\[bill > 1000\]]
+    - conjunctions: [//a\[b and c = "d"\]], and stacked predicates
+      [//a\[b\]\[c\]]
+    - [.] inside a predicate constrains the context node's own value:
+      [//med\[. = "celecoxib"\]]. *)
+
+type error = { pos : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.expr, error) result
+(** Parses an absolute expression (must start with [/] or [//]). *)
+
+val parse_exn : string -> Ast.expr
+(** @raise Invalid_argument on a parse error. *)

@@ -1,0 +1,151 @@
+open Ast
+
+type label = Root | Star | Label of string
+
+type edge = Echild | Edesc
+
+type node = {
+  pid : int;
+  label : label;
+  vcons : (cmp * string) list;
+  kids : (edge * node) list;
+}
+
+type t = {
+  root : node;
+  spine : node list;
+  count : int;
+}
+
+let edge_of_axis = function Child -> Echild | Descendant -> Edesc
+
+let label_of_test = function Wildcard -> Star | Name l -> Label l
+
+(* Pattern construction threads a counter for pids. Qualifier paths
+   become subtrees; a [Value] qualifier adds its constraint to the node
+   its path reaches (the context node itself for the empty path). *)
+
+let of_expr (e : expr) =
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  (* Builds the subtree for a qualifier path, returning the kid edge
+     list contribution; [vcon] applies to the path's endpoint. *)
+  let rec build_qual_path (p : path) vcon : (edge * node) list * (cmp * string) list =
+    match p with
+    | [] ->
+        (* Constraint lands on the context node. *)
+        ([], match vcon with None -> [] | Some c -> [ c ])
+    | s :: rest ->
+        let sub_kids, sub_vcons = build_qual_path rest vcon in
+        let qual_kids = List.concat_map build_qual s.quals in
+        let child =
+          {
+            pid = fresh ();
+            label = label_of_test s.test;
+            vcons = sub_vcons;
+            kids = qual_kids @ sub_kids;
+          }
+        in
+        ([ (edge_of_axis s.axis, child) ], [])
+
+  and build_qual (q : qual) : (edge * node) list =
+    (* Returns kid subtrees; constraints on the context node itself are
+       impossible here because [build_step] handles them separately. *)
+    match q with
+    | Exists p -> fst (build_qual_path p None)
+    | Value (p, op, d) -> fst (build_qual_path p (Some (op, d)))
+    | And (a, b) -> build_qual a @ build_qual b
+  in
+  (* Constraints addressed to the step node itself ([. = d]). *)
+  let self_vcons quals =
+    let rec collect = function
+      | Value ([], op, d) -> [ (op, d) ]
+      | And (a, b) -> collect a @ collect b
+      | Exists _ | Value (_ :: _, _, _) -> []
+    in
+    List.concat_map collect quals
+  in
+  let rec build_spine (steps : path) : node list * (edge * node) option =
+    match steps with
+    | [] -> ([], None)
+    | s :: rest ->
+        let below_spine, below_kid = build_spine rest in
+        let qual_kids = List.concat_map build_qual s.quals in
+        let kids =
+          qual_kids @ (match below_kid with None -> [] | Some k -> [ k ])
+        in
+        let n =
+          {
+            pid = fresh ();
+            label = label_of_test s.test;
+            vcons = self_vcons s.quals;
+            kids;
+          }
+        in
+        (n :: below_spine, Some (edge_of_axis s.axis, n))
+  in
+  let spine_below, first_kid = build_spine e.steps in
+  let root =
+    {
+      pid = fresh ();
+      label = Root;
+      vcons = [];
+      kids = (match first_kid with None -> [] | Some k -> [ k ]);
+    }
+  in
+  { root; spine = root :: spine_below; count = !next }
+
+let output t =
+  match List.rev t.spine with
+  | last :: _ -> last
+  | [] -> assert false
+
+let descendants n =
+  let acc = ref [] in
+  let rec go m =
+    List.iter
+      (fun (_, k) ->
+        acc := k :: !acc;
+        go k)
+      m.kids
+  in
+  go n;
+  List.rev !acc
+
+let spine_edges t =
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        let edge =
+          (* The spine child is among a's kids; retrieve its edge. *)
+          match List.find_opt (fun (_, k) -> k.pid = b.pid) a.kids with
+          | Some (e, _) -> e
+          | None -> assert false
+        in
+        edge :: pairs rest
+    | _ -> []
+  in
+  pairs t.spine
+
+let pp ppf t =
+  let pp_label ppf = function
+    | Root -> Format.pp_print_string ppf "/"
+    | Star -> Format.pp_print_char ppf '*'
+    | Label l -> Format.pp_print_string ppf l
+  in
+  let spine_ids = List.map (fun n -> n.pid) t.spine in
+  let rec go indent edge n =
+    Format.fprintf ppf "%s%s%a#%d" indent
+      (match edge with Echild -> "/" | Edesc -> "//")
+      pp_label n.label n.pid;
+    List.iter
+      (fun (op, d) -> Format.fprintf ppf "{%s%s}" (Ast.cmp_to_string op) d)
+      n.vcons;
+    if List.mem n.pid spine_ids then Format.pp_print_string ppf " *spine*";
+    Format.pp_print_newline ppf ();
+    List.iter (fun (e, k) -> go (indent ^ "  ") e k) n.kids
+  in
+  go "" Echild t.root

@@ -1,0 +1,42 @@
+(** Tree patterns for XPath containment.
+
+    An expression of the fragment XP(/, //, *, \[\], =) is equivalent to
+    a tree pattern (Miklau & Suciu, JACM 51(1)): nodes are labeled with
+    an element name or [*], edges are child or descendant edges, one
+    root-to-leaf path (the {e spine}) carries the selection steps and
+    its endpoint is the {e output} node; qualifier paths hang off the
+    spine.  Value comparisons become constraints attached to the
+    pattern node their path reaches. *)
+
+type label = Root | Star | Label of string
+(** [Root] labels the virtual document node only. *)
+
+type edge = Echild | Edesc
+
+type node = {
+  pid : int;  (** Unique within one pattern. *)
+  label : label;
+  vcons : (Ast.cmp * string) list;
+      (** Conjunction of value constraints on this node. *)
+  kids : (edge * node) list;
+}
+
+type t = {
+  root : node;  (** The virtual document node. *)
+  spine : node list;  (** From [root] down to the output node. *)
+  count : int;  (** Total number of pattern nodes. *)
+}
+
+val of_expr : Ast.expr -> t
+(** Compile an absolute expression. *)
+
+val output : t -> node
+(** Last spine node. *)
+
+val descendants : node -> node list
+(** Proper descendants of a pattern node. *)
+
+val spine_edges : t -> edge list
+(** Edges along the spine, top to bottom; length = |spine| - 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,122 @@
+open Ast
+module Prng = Xmlac_util.Prng
+module Sg = Xmlac_xml.Schema_graph
+module Dtd = Xmlac_xml.Dtd
+
+type config = {
+  descendant_prob : float;
+  wildcard_prob : float;
+  pred_prob : float;
+  value_pred_prob : float;
+  max_pred_depth : int;
+  value_pool : string -> string list;
+}
+
+let default_config =
+  {
+    descendant_prob = 0.3;
+    wildcard_prob = 0.1;
+    pred_prob = 0.3;
+    value_pred_prob = 0.4;
+    max_pred_depth = 2;
+    value_pool = (fun _ -> []);
+  }
+
+(* A random downward label chain from [ty], at most [depth] long and at
+   least 1; None when [ty] is a leaf type. *)
+let rec random_chain rng sg ty depth =
+  if depth <= 0 then None
+  else
+    match Dtd.child_types (Sg.dtd sg) ty with
+    | [] -> None
+    | kids ->
+        let k = Prng.choose_list rng kids in
+        if depth = 1 || Prng.bool rng then Some [ k ]
+        else (
+          match random_chain rng sg k (depth - 1) with
+          | None -> Some [ k ]
+          | Some rest -> Some (k :: rest))
+
+let leaf_value_pred cfg rng ty =
+  match cfg.value_pool ty with
+  | [] -> None
+  | pool ->
+      let d = Prng.choose_list rng pool in
+      let op =
+        if float_of_string_opt d <> None then
+          Prng.choose rng [| Eq; Lt; Le; Gt; Ge |]
+        else Eq
+      in
+      Some (op, d)
+
+(* A random predicate for a step landing on [ty]. *)
+let random_pred cfg rng sg ty =
+  match random_chain rng sg ty cfg.max_pred_depth with
+  | None -> (
+      (* Leaf type: constrain the node's own value if possible. *)
+      match leaf_value_pred cfg rng ty with
+      | Some (op, d) -> Some (Value ([], op, d))
+      | None -> None)
+  | Some chain ->
+      let path = List.map (fun l -> step Child (Name l)) chain in
+      let landing = List.nth chain (List.length chain - 1) in
+      if Prng.bernoulli rng cfg.value_pred_prob then
+        match leaf_value_pred cfg rng landing with
+        | Some (op, d) -> Some (Value (path, op, d))
+        | None -> Some (Exists path)
+      else Some (Exists path)
+
+(* Turn a root label path into an expression: walk the labels, merging
+   runs into descendant steps with probability [descendant_prob].
+   The first step is descendant-anchored when merged with the (virtual)
+   document root. *)
+let of_label_path cfg rng sg labels =
+  let steps =
+    List.map
+      (fun l ->
+        let axis =
+          if Prng.bernoulli rng cfg.descendant_prob then Descendant else Child
+        in
+        let test =
+          (* Wildcards only on child steps: a descendant::* step selects
+             virtually everything and makes workloads degenerate. *)
+          if axis = Child && Prng.bernoulli rng cfg.wildcard_prob then Wildcard
+          else Name l
+        in
+        (step axis test, l))
+      labels
+  in
+  (* A descendant step absorbs the labels it skips: drop any child step
+     immediately preceding a descendant step with probability 1/2 to
+     actually exercise multi-level jumps. *)
+  let rec absorb = function
+    | (s1, _) :: ((s2, _) :: _ as rest)
+      when s1.axis = Child && s2.axis = Descendant && Prng.bool rng ->
+        absorb rest
+    | x :: rest -> x :: absorb rest
+    | [] -> []
+  in
+  let steps = absorb steps in
+  let with_preds =
+    List.map
+      (fun (s, ty) ->
+        if s.test <> Wildcard && Prng.bernoulli rng cfg.pred_prob then
+          match random_pred cfg rng sg ty with
+          | Some q -> { s with quals = [ q ] }
+          | None -> s
+        else s)
+      steps
+  in
+  { steps = with_preds }
+
+let gen_expr ?(config = default_config) rng sg =
+  let paths = Sg.root_paths sg in
+  let labels = Prng.choose_list rng paths in
+  of_label_path config rng sg labels
+
+let gen_targeting ?(config = default_config) rng sg ~target =
+  match Sg.paths_to sg target with
+  | [] -> invalid_arg ("Qgen.gen_targeting: unreachable type " ^ target)
+  | paths ->
+      let labels = Prng.choose_list rng paths in
+      of_label_path config rng sg labels

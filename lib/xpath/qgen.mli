@@ -1,0 +1,37 @@
+(** Schema-guided random XPath generation.
+
+    Produces expressions of the paper's fragment that are satisfiable
+    by construction (they follow label paths the DTD allows), for the
+    coverage-policy dataset, the 55-query response-time workload and
+    the property-based tests. *)
+
+type config = {
+  descendant_prob : float;  (** Probability of compressing a path
+                                segment into a descendant step. *)
+  wildcard_prob : float;  (** Probability of replacing a name test with
+                              [*]. *)
+  pred_prob : float;  (** Probability of attaching a predicate to a
+                          step. *)
+  value_pred_prob : float;  (** Probability that a predicate is a value
+                                comparison rather than an existence
+                                test. *)
+  max_pred_depth : int;  (** Maximum steps in a predicate path. *)
+  value_pool : string -> string list;
+      (** Candidate constants for value predicates on a leaf element
+          type; return [\[\]] when the type has no values. *)
+}
+
+val default_config : config
+
+val gen_expr :
+  ?config:config -> Xmlac_util.Prng.t -> Xmlac_xml.Schema_graph.t -> Ast.expr
+(** A random absolute expression over the schema. *)
+
+val gen_targeting :
+  ?config:config ->
+  Xmlac_util.Prng.t ->
+  Xmlac_xml.Schema_graph.t ->
+  target:string ->
+  Ast.expr
+(** A random expression whose spine ends at the given element type.
+    Raises [Invalid_argument] if the type is unreachable. *)

@@ -1,0 +1,60 @@
+(* Shared fixtures and generators for the test suites. *)
+
+module Tree = Xmlac_xml.Tree
+module Dtd = Xmlac_xml.Dtd
+module Sg = Xmlac_xml.Schema_graph
+module Xp = Xmlac_xpath
+module Prng = Xmlac_util.Prng
+
+let parse = Xp.Parser.parse_exn
+
+let hospital_doc = Xmlac_workload.Hospital.sample_document
+let hospital_dtd = Xmlac_workload.Hospital.dtd
+let hospital_sg = lazy (Sg.build hospital_dtd)
+
+let xmark_sg = lazy (Sg.build Xmlac_workload.Xmark.dtd)
+
+(* Ids selected by an expression on a document. *)
+let ids doc expr_str =
+  List.sort Stdlib.compare
+    (List.map
+       (fun (n : Tree.node) -> n.Tree.id)
+       (Xp.Eval.eval doc (parse expr_str)))
+
+let names_of nodes = List.map (fun (n : Tree.node) -> n.Tree.name) nodes
+
+(* A small random hospital-schema document for property tests. *)
+let random_hospital_doc rng =
+  let departments = 1 + Prng.int rng 3 in
+  let patients_per_dept = 1 + Prng.int rng 6 in
+  Xmlac_workload.Hospital.generate
+    ~seed:(Prng.next_int64 rng)
+    ~departments ~patients_per_dept ()
+
+(* QCheck generator wrapping our deterministic PRNG: draws a seed from
+   QCheck's own state, then produces the derived artifact. *)
+let seed_gen = QCheck2.Gen.int64
+
+(* Random XPath expression over the hospital schema, with value
+   constants that occur in generated documents. *)
+let hospital_value_pool = function
+  | "med" -> [ "enoxaparin"; "celecoxib"; "aspirin" ]
+  | "bill" -> [ "700"; "1000"; "1600" ]
+  | "psn" -> [ "033"; "042" ]
+  | _ -> []
+
+let hospital_qgen_config =
+  {
+    Xp.Qgen.default_config with
+    Xp.Qgen.value_pool = hospital_value_pool;
+    pred_prob = 0.4;
+  }
+
+let random_hospital_expr rng =
+  Xp.Qgen.gen_expr ~config:hospital_qgen_config rng (Lazy.force hospital_sg)
+
+(* Alcotest checkers. *)
+let int_list = Alcotest.(list int)
+let string_list = Alcotest.(list string)
+
+let check_ids = Alcotest.(check int_list)

@@ -1,0 +1,218 @@
+(* Tests for the beyond-the-paper extensions: security views, the
+   compressed accessibility map, and schema-aware containment used
+   through the engine. *)
+
+open Xmlac_core
+module Tree = Xmlac_xml.Tree
+module Prng = Xmlac_util.Prng
+module W = Xmlac_workload
+
+let parse = Helpers.parse
+
+let sample_policy = Optimizer.optimize_policy W.Hospital.policy
+
+(* ------------------------------------------------------------------ *)
+(* Security views *)
+
+let count_names doc name =
+  Tree.count (fun (n : Tree.node) -> String.equal n.Tree.name name) doc
+
+let test_view_promote_sample () =
+  let doc = W.Hospital.sample_document () in
+  let view = Security_view.materialize sample_policy doc in
+  (* Accessible: 3 names, the third patient, the regular element.
+     Promote hoists them under the placeholder root. *)
+  Alcotest.(check int) "names visible" 3 (count_names view "name");
+  Alcotest.(check int) "one patient" 1 (count_names view "patient");
+  Alcotest.(check int) "one regular" 1 (count_names view "regular");
+  (* Inaccessible material is absent. *)
+  Alcotest.(check int) "no treatment" 0 (count_names view "treatment");
+  Alcotest.(check int) "no psn" 0 (count_names view "psn");
+  Alcotest.(check int) "no bill" 0 (count_names view "bill")
+
+let test_view_prune_sample () =
+  let doc = W.Hospital.sample_document () in
+  let view = Security_view.materialize ~mode:Security_view.Prune sample_policy doc in
+  (* The root (hospital) is inaccessible, so pruning keeps nothing. *)
+  Alcotest.(check int) "hollow root only" 1 (Tree.size view);
+  Alcotest.(check int) "counted as zero" 0
+    (Security_view.visible_count ~mode:Security_view.Prune sample_policy doc)
+
+let test_view_prune_accessible_spine () =
+  (* Make the spine accessible: pruning then keeps the accessible
+     cone. *)
+  let doc = W.Hospital.sample_document () in
+  let p =
+    Policy.make ~ds:Rule.Minus ~cr:Rule.Minus
+      [
+        Rule.parse "/hospital" Rule.Plus;
+        Rule.parse "//dept" Rule.Plus;
+        Rule.parse "//patients" Rule.Plus;
+        Rule.parse "//patient" Rule.Plus;
+        Rule.parse "//patient/name" Rule.Plus;
+      ]
+  in
+  let view = Security_view.materialize ~mode:Security_view.Prune p doc in
+  Alcotest.(check int) "patients kept" 3 (count_names view "patient");
+  Alcotest.(check int) "names kept" 3 (count_names view "name");
+  (* psn is not accessible: the patient subtree is cut there only. *)
+  Alcotest.(check int) "no psn" 0 (count_names view "psn")
+
+let test_view_values_hidden () =
+  let doc = W.Hospital.sample_document () in
+  let view = Security_view.materialize sample_policy doc in
+  let xml = Xmlac_xml.Serializer.to_string view in
+  let contains needle =
+    let n = String.length needle and h = String.length xml in
+    let rec go i = i + n <= h && (String.sub xml i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "accessible value present" true (contains "john doe");
+  Alcotest.(check bool) "hidden psn absent" false (contains "033");
+  Alcotest.(check bool) "hidden med absent" false (contains "enoxaparin")
+
+let view_counts_prop =
+  QCheck2.Test.make
+    ~name:"promote view represents exactly the accessible nodes" ~count:100
+    QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let rules =
+        List.init
+          (1 + Prng.int rng 5)
+          (fun i ->
+            Rule.make
+              ~name:(Printf.sprintf "V%d" i)
+              ~resource:(Helpers.random_hospital_expr rng)
+              (if Prng.bool rng then Rule.Plus else Rule.Minus))
+      in
+      let p = Policy.make ~ds:Rule.Minus ~cr:Rule.Minus rules in
+      Security_view.visible_count p doc
+      = List.length (Policy.accessible_ids p doc))
+
+let view_prune_subset_prop =
+  QCheck2.Test.make ~name:"prune view no larger than promote view"
+    ~count:100 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let p =
+        Policy.make ~ds:Rule.Minus ~cr:Rule.Minus
+          [ Rule.make ~resource:(Helpers.random_hospital_expr rng) Rule.Plus ]
+      in
+      Security_view.visible_count ~mode:Security_view.Prune p doc
+      <= Security_view.visible_count ~mode:Security_view.Promote p doc)
+
+(* ------------------------------------------------------------------ *)
+(* Compressed accessibility map *)
+
+let annotated_sample () =
+  let doc = W.Hospital.sample_document () in
+  let backend = Xml_backend.make doc in
+  let _ = Annotator.annotate backend sample_policy in
+  doc
+
+let test_cam_lookup_matches () =
+  let doc = annotated_sample () in
+  let cam = Cam.build doc ~default:Tree.Minus in
+  let accessible = Policy.accessible_ids sample_policy doc in
+  Tree.iter
+    (fun n ->
+      let expected =
+        if List.mem n.Tree.id accessible then Tree.Plus else Tree.Minus
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d" n.Tree.id)
+        true
+        (Cam.lookup cam n = expected))
+    doc
+
+let test_cam_compresses () =
+  (* A fully uniform document compresses to zero entries. *)
+  let doc = W.Hospital.sample_document () in
+  let cam = Cam.build doc ~default:Tree.Minus in
+  Alcotest.(check int) "no annotations, no entries" 0 (Cam.entries cam);
+  (* Annotating one whole subtree costs few entries. *)
+  ignore
+    (Xmlac_xmldb.Store.annotate_all doc (parse "//regular") Tree.Plus);
+  ignore
+    (Xmlac_xmldb.Store.annotate_all doc (parse "//regular//*") Tree.Plus);
+  let cam = Cam.build doc ~default:Tree.Minus in
+  Alcotest.(check int) "one change point" 1 (Cam.entries cam);
+  Alcotest.(check bool) "ratio small" true (Cam.compression_ratio cam < 0.1)
+
+let test_cam_node_count () =
+  let doc = annotated_sample () in
+  let cam = Cam.build doc ~default:Tree.Minus in
+  Alcotest.(check int) "node count" (Tree.size doc) (Cam.node_count cam)
+
+let cam_lookup_prop =
+  QCheck2.Test.make ~name:"cam lookup = effective sign" ~count:80
+    QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      (* Random sparse annotation. *)
+      Tree.iter
+        (fun n ->
+          match Prng.int rng 4 with
+          | 0 -> Tree.set_sign n (Some Tree.Plus)
+          | 1 -> Tree.set_sign n (Some Tree.Minus)
+          | _ -> ())
+        doc;
+      let cam = Cam.build doc ~default:Tree.Minus in
+      (* The store's model: explicit sign or the default. *)
+      let effective (n : Tree.node) =
+        match n.Tree.sign with Some s -> s | None -> Tree.Minus
+      in
+      List.for_all
+        (fun (n : Tree.node) -> Cam.lookup cam n = effective n)
+        (Tree.nodes doc))
+
+let cam_minimal_prop =
+  QCheck2.Test.make ~name:"cam entries only at sign changes" ~count:80
+    QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      Policy.annotate_reference
+        (Policy.make ~ds:Rule.Minus ~cr:Rule.Minus
+           [ Rule.make ~resource:(Helpers.random_hospital_expr rng) Rule.Plus ])
+        doc;
+      let cam = Cam.build doc ~default:Tree.Minus in
+      (* Count actual sign changes along parent edges. *)
+      let changes = ref 0 in
+      Tree.iter
+        (fun n ->
+          let sign_of (m : Tree.node) =
+            match m.Tree.sign with Some s -> s | None -> Tree.Minus
+          in
+
+          let parent_sign =
+            match Tree.parent n with
+            | Some p -> sign_of p
+            | None -> Tree.Minus
+          in
+          if sign_of n <> parent_sign then incr changes)
+        doc;
+      Cam.entries cam = !changes)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "extensions"
+    [
+      ( "security view",
+        [
+          tc "promote on the paper example" test_view_promote_sample;
+          tc "prune on the paper example" test_view_prune_sample;
+          tc "prune with accessible spine" test_view_prune_accessible_spine;
+          tc "hidden values never serialize" test_view_values_hidden;
+          QCheck_alcotest.to_alcotest view_counts_prop;
+          QCheck_alcotest.to_alcotest view_prune_subset_prop;
+        ] );
+      ( "compressed accessibility map",
+        [
+          tc "lookup matches semantics" test_cam_lookup_matches;
+          tc "compresses uniform regions" test_cam_compresses;
+          tc "node count" test_cam_node_count;
+          QCheck_alcotest.to_alcotest cam_lookup_prop;
+          QCheck_alcotest.to_alcotest cam_minimal_prop;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Tests for the ShreX-style mapping, shredding and XPath -> SQL
+   translation, including the cross-backend equivalence property. *)
+
+module Mapping = Xmlac_shrex.Mapping
+module Shred = Xmlac_shrex.Shred
+module Translate = Xmlac_shrex.Translate
+module Tree = Xmlac_xml.Tree
+module Dtd = Xmlac_xml.Dtd
+module Db = Xmlac_reldb.Database
+module Table = Xmlac_reldb.Table
+module Value = Xmlac_reldb.Value
+module Sql = Xmlac_reldb.Sql
+module Sql_text = Xmlac_reldb.Sql_text
+module Executor = Xmlac_reldb.Executor
+module Eval = Xmlac_xpath.Eval
+module Prng = Xmlac_util.Prng
+
+let hospital = Xmlac_workload.Hospital.dtd
+let mapping = Mapping.of_dtd hospital
+let parse = Helpers.parse
+
+let load_doc engine doc =
+  let db = Db.create engine in
+  let n = Shred.load mapping ~default_sign:"-" db doc in
+  (db, n)
+
+(* ------------------------------------------------------------------ *)
+(* Mapping *)
+
+let test_mapping_tables_per_type () =
+  Alcotest.(check int) "one table per type"
+    (List.length (Dtd.element_types hospital))
+    (List.length (Mapping.relational_schema mapping))
+
+let test_mapping_value_columns () =
+  Alcotest.(check bool) "med has v" true (Mapping.has_value_column mapping "med");
+  Alcotest.(check bool) "patient has no v" false
+    (Mapping.has_value_column mapping "patient");
+  let t = Mapping.table_for mapping "med" in
+  Alcotest.(check bool) "v column present" true
+    (Xmlac_reldb.Schema.has_column t "v");
+  let t = Mapping.table_for mapping "patient" in
+  Alcotest.(check bool) "no v column" false
+    (Xmlac_reldb.Schema.has_column t "v")
+
+let test_mapping_rejects_recursion () =
+  let rec_dtd =
+    Dtd.make ~root:"a" [ ("a", Dtd.Seq [ { elem = "a"; occ = Dtd.Star } ]) ]
+  in
+  try
+    ignore (Mapping.of_dtd rec_dtd);
+    Alcotest.fail "accepted recursive DTD"
+  with Invalid_argument _ -> ()
+
+let test_mapping_ddl_mentions_all () =
+  let ddl = Mapping.ddl mapping in
+  List.iter
+    (fun ty ->
+      Alcotest.(check bool) (ty ^ " in ddl") true
+        (let needle = "CREATE TABLE " ^ ty ^ " " in
+         let rec go i =
+           i + String.length needle <= String.length ddl
+           && (String.sub ddl i (String.length needle) = needle || go (i + 1))
+         in
+         go 0))
+    (Dtd.element_types hospital)
+
+(* ------------------------------------------------------------------ *)
+(* Shredding *)
+
+let test_shred_tuple_count () =
+  let doc = Xmlac_workload.Hospital.sample_document () in
+  let db, n = load_doc Table.Row doc in
+  Alcotest.(check int) "one tuple per node" (Tree.size doc) n;
+  Alcotest.(check int) "db total" (Tree.size doc) (Db.total_tuples db)
+
+let test_shred_parent_links () =
+  let doc = Xmlac_workload.Hospital.sample_document () in
+  let db, _ = load_doc Table.Row doc in
+  (* Every non-root tuple's pid must exist somewhere. *)
+  let all_ids = Hashtbl.create 64 in
+  List.iter
+    (fun t -> List.iter (fun id -> Hashtbl.replace all_ids id ()) (Table.ids t))
+    (Db.tables db);
+  List.iter
+    (fun t ->
+      let schema = Table.schema t in
+      let pid_col = Xmlac_reldb.Schema.column_index schema "pid" in
+      Table.iter_live t (fun row ->
+          match Table.get t ~row ~column:pid_col with
+          | Value.Int pid ->
+              Alcotest.(check bool) "pid resolves" true (Hashtbl.mem all_ids pid)
+          | Value.Null -> () (* the root *)
+          | _ -> Alcotest.fail "bad pid"))
+    (Db.tables db)
+
+let test_shred_values_and_signs () =
+  let doc = Xmlac_workload.Hospital.sample_document () in
+  let db, _ = load_doc Table.Row doc in
+  let med = Db.table db "med" in
+  Alcotest.(check int) "one med" 1 (Table.live_count med);
+  Table.iter_live med (fun row ->
+      Alcotest.(check bool) "value" true
+        (Table.get med ~row ~column:2 = Value.Str "enoxaparin");
+      Alcotest.(check bool) "default sign" true
+        (Table.get med ~row ~column:3 = Value.Str "-"))
+
+let test_shred_script_round_trip () =
+  let doc = Xmlac_workload.Hospital.sample_document () in
+  let stmts = Shred.insert_statements mapping ~default_sign:"-" doc in
+  Alcotest.(check int) "one insert per node" (Tree.size doc)
+    (List.length stmts);
+  let text = Sql_text.render_script stmts in
+  let stmts' = Sql_text.parse_script_exn text in
+  let db = Db.create Table.Row in
+  Mapping.create_tables mapping db;
+  let n = Shred.load_script db stmts' in
+  Alcotest.(check int) "loaded all" (Tree.size doc) n;
+  (* The scripted load equals the direct load. *)
+  let db2, _ = load_doc Table.Row doc in
+  List.iter
+    (fun t ->
+      let t2 = Db.table db2 (Table.name t) in
+      Alcotest.(check (list int)) (Table.name t) (Table.ids t2) (Table.ids t))
+    (Db.tables db)
+
+let test_node_table () =
+  let doc = Xmlac_workload.Hospital.sample_document () in
+  let db, _ = load_doc Table.Row doc in
+  let patient_ids = Helpers.ids doc "//patient" in
+  List.iter
+    (fun id ->
+      match Shred.node_table mapping db id with
+      | Some t -> Alcotest.(check string) "patient table" "patient" (Table.name t)
+      | None -> Alcotest.fail "not found")
+    patient_ids;
+  Alcotest.(check bool) "unknown id" true (Shred.node_table mapping db 9999 = None)
+
+let test_delete_subtrees () =
+  let doc = Xmlac_workload.Hospital.sample_document () in
+  let db, total = load_doc Table.Row doc in
+  (* Delete the two treatment subtrees: 2 treatment + regular + med +
+     bill + experimental + test + bill = 8 tuples. *)
+  let treatment_ids = Helpers.ids doc "//treatment" in
+  let deleted = Shred.delete_subtrees mapping db treatment_ids in
+  Alcotest.(check int) "deleted" 8 deleted;
+  Alcotest.(check int) "remaining" (total - 8) (Db.total_tuples db);
+  Alcotest.(check int) "no meds" 0 (Table.live_count (Db.table db "med"))
+
+(* ------------------------------------------------------------------ *)
+(* Translation *)
+
+let doc = Xmlac_workload.Hospital.sample_document ()
+let row_db, _ = load_doc Table.Row doc
+let col_db, _ = load_doc Table.Column doc
+
+let native_ids q = Helpers.ids doc q
+let rel_ids db q = Translate.eval_ids mapping db (parse q)
+
+let translation_cases =
+  [
+    "//patient"; "//patient/name"; "//patient[treatment]";
+    "//patient[treatment]/name"; "//patient[.//experimental]";
+    "//regular"; "//regular[med = \"celecoxib\"]";
+    "//regular[med = \"enoxaparin\"]"; "//regular[bill > 1000]";
+    "//experimental[bill > 1000]"; "/hospital"; "/hospital/dept";
+    "/hospital/dept/patients/patient/psn"; "//name"; "//*"; "//dept/*";
+    "//patient[psn = \"042\"]"; "//bill"; "//bill[. > 1000]";
+    "//patient[psn and name]"; "//staff"; "//treatment";
+    "//patient[treatment/regular]"; "/hospital//bill";
+    "//patients//name"; "//patient[name = \"joy smith\"]";
+  ]
+
+let test_translation_equivalence () =
+  List.iter
+    (fun q ->
+      Alcotest.(check (list int)) ("row: " ^ q) (native_ids q) (rel_ids row_db q);
+      Alcotest.(check (list int)) ("col: " ^ q) (native_ids q) (rel_ids col_db q))
+    translation_cases
+
+let test_translation_unsatisfiable () =
+  (* Schema-impossible expressions yield empty answers, not errors. *)
+  List.iter
+    (fun q -> Alcotest.(check (list int)) q [] (rel_ids row_db q))
+    [ "//patient/bill"; "/dept"; "//psn/name"; "//regular[test]" ]
+
+let test_translation_sql_shape () =
+  (* //patient anchored at the root: no join needed, the whole table. *)
+  let q = Translate.translate mapping (parse "//patient") in
+  Alcotest.(check string) "table scan" "SELECT patient1.id FROM patient patient1"
+    (Sql.query_to_string q)
+
+let test_translation_join_shape () =
+  let q = Translate.translate mapping (parse "//patient/name") in
+  let s = Sql.query_to_string q in
+  Alcotest.(check bool) "joins pid" true
+    (let needle = "name2.pid = patient1.id" in
+     let rec go i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || go (i + 1))
+     in
+     go 0)
+
+let test_translation_descendant_union () =
+  (* //name has three schema chains => (at least) a union of selects
+     over the name table... anchored at the root it needs no chains,
+     but //dept//name expands to three. *)
+  let q = Translate.translate mapping (parse "//dept//name") in
+  let rec count_selects = function
+    | Sql.Select _ -> 1
+    | Sql.Union (a, b) | Sql.Except (a, b) | Sql.Intersect (a, b) ->
+        count_selects a + count_selects b
+  in
+  Alcotest.(check int) "three chains" 3 (count_selects q)
+
+(* Property: translation agrees with native evaluation on random
+   documents and random schema-guided expressions, on both engines. *)
+let translation_equiv_prop =
+  QCheck2.Test.make ~name:"XPath->SQL translation equals native eval"
+    ~count:100 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let db, _ = load_doc Table.Row doc in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let e = Helpers.random_hospital_expr rng in
+        let native =
+          List.sort compare
+            (List.map (fun (n : Tree.node) -> n.Tree.id) (Eval.eval doc e))
+        in
+        let rel = Translate.eval_ids mapping db e in
+        if native <> rel then ok := false
+      done;
+      !ok)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "shrex"
+    [
+      ( "mapping",
+        [
+          tc "table per type" test_mapping_tables_per_type;
+          tc "value columns" test_mapping_value_columns;
+          tc "rejects recursion" test_mapping_rejects_recursion;
+          tc "ddl covers all types" test_mapping_ddl_mentions_all;
+        ] );
+      ( "shred",
+        [
+          tc "tuple count" test_shred_tuple_count;
+          tc "parent links" test_shred_parent_links;
+          tc "values and signs" test_shred_values_and_signs;
+          tc "script round trip" test_shred_script_round_trip;
+          tc "node table lookup" test_node_table;
+          tc "delete subtrees" test_delete_subtrees;
+        ] );
+      ( "translate",
+        [
+          tc "equivalence on fixed cases" test_translation_equivalence;
+          tc "unsatisfiable queries" test_translation_unsatisfiable;
+          tc "scan shape" test_translation_sql_shape;
+          tc "join shape" test_translation_join_shape;
+          tc "descendant union" test_translation_descendant_union;
+          QCheck_alcotest.to_alcotest translation_equiv_prop;
+        ] );
+    ]

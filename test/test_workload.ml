@@ -1,0 +1,298 @@
+(* Tests for the workload generators: hospital, docgen, XMark, the
+   coverage dataset and the 55-query workload. *)
+
+module Tree = Xmlac_xml.Tree
+module Dtd = Xmlac_xml.Dtd
+module Prng = Xmlac_util.Prng
+module W = Xmlac_workload
+module Policy = Xmlac_core.Policy
+module Pp = Xmlac_xpath.Pp
+
+(* ------------------------------------------------------------------ *)
+(* Hospital *)
+
+let test_hospital_sample_valid () =
+  Alcotest.(check bool) "valid" true
+    (Dtd.is_valid W.Hospital.dtd (W.Hospital.sample_document ()))
+
+let test_hospital_sample_shape () =
+  let doc = W.Hospital.sample_document () in
+  Alcotest.(check int) "patients" 3 (List.length (Helpers.ids doc "//patient"));
+  Alcotest.(check int) "treatments" 2 (List.length (Helpers.ids doc "//treatment"));
+  Alcotest.(check int) "size" 21 (Tree.size doc)
+
+let test_hospital_generate_valid () =
+  let doc = W.Hospital.generate ~departments:3 ~patients_per_dept:10 () in
+  Alcotest.(check bool) "valid" true (Dtd.is_valid W.Hospital.dtd doc);
+  Alcotest.(check int) "depts" 3 (List.length (Helpers.ids doc "//dept"));
+  Alcotest.(check int) "patients" 30 (List.length (Helpers.ids doc "//patient"))
+
+let test_hospital_generate_deterministic () =
+  let a = W.Hospital.generate ~seed:5L ~departments:2 ~patients_per_dept:5 () in
+  let b = W.Hospital.generate ~seed:5L ~departments:2 ~patients_per_dept:5 () in
+  Alcotest.(check bool) "same" true (Tree.equal_structure a b);
+  let c = W.Hospital.generate ~seed:6L ~departments:2 ~patients_per_dept:5 () in
+  Alcotest.(check bool) "different seed differs" false (Tree.equal_structure a c)
+
+let test_hospital_golden_accessible () =
+  (* The golden accessible set of the motivating example stays put. *)
+  let doc = W.Hospital.sample_document () in
+  Alcotest.(check Helpers.int_list) "golden"
+    (W.Hospital.accessible_sample_ids ())
+    (Policy.accessible_ids W.Hospital.policy doc)
+
+(* ------------------------------------------------------------------ *)
+(* Docgen *)
+
+let test_docgen_valid () =
+  let rng = Prng.create ~seed:1L in
+  for _ = 1 to 20 do
+    let doc = W.Docgen.generate ~rng W.Hospital.dtd in
+    Alcotest.(check bool) "valid" true (Dtd.is_valid W.Hospital.dtd doc)
+  done
+
+let test_docgen_rejects_recursive () =
+  let dtd =
+    Dtd.make ~root:"a" [ ("a", Dtd.Seq [ { elem = "a"; occ = Dtd.Star } ]) ]
+  in
+  let rng = Prng.create ~seed:2L in
+  try
+    ignore (W.Docgen.generate ~rng dtd);
+    Alcotest.fail "accepted recursive DTD"
+  with Invalid_argument _ -> ()
+
+let test_docgen_fanout_clamped () =
+  (* A config asking for wild fan-outs still yields valid docs because
+     occurrences are clamped. *)
+  let config =
+    {
+      W.Docgen.default_config with
+      W.Docgen.fanout = (fun ~rng:_ ~parent:_ ~child:_ _ -> 7);
+    }
+  in
+  let rng = Prng.create ~seed:3L in
+  let doc = W.Docgen.generate ~config ~rng W.Hospital.dtd in
+  Alcotest.(check bool) "valid" true (Dtd.is_valid W.Hospital.dtd doc)
+
+(* ------------------------------------------------------------------ *)
+(* XMark *)
+
+let test_xmark_valid_small () =
+  let doc = W.Xmark.generate ~factor:0.001 () in
+  Alcotest.(check bool) "valid" true (Dtd.is_valid W.Xmark.dtd doc)
+
+let test_xmark_deterministic () =
+  let a = W.Xmark.generate ~factor:0.001 () in
+  let b = W.Xmark.generate ~factor:0.001 () in
+  Alcotest.(check bool) "same" true (Tree.equal_structure a b)
+
+let test_xmark_scales () =
+  let small = Tree.size (W.Xmark.generate ~factor:0.001 ()) in
+  let big = Tree.size (W.Xmark.generate ~factor:0.05 ()) in
+  Alcotest.(check bool) "monotone" true (big > 2 * small)
+
+let test_xmark_estimate_rough () =
+  let actual = Tree.size (W.Xmark.generate ~factor:0.1 ()) in
+  let est = W.Xmark.node_count_estimate ~factor:0.1 in
+  let ratio = float_of_int actual /. float_of_int est in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate within 2x (actual %d, est %d)" actual est)
+    true
+    (ratio > 0.5 && ratio < 2.0)
+
+let test_xmark_value_pool_hits () =
+  (* Generated documents contain values from the pools (so value
+     predicates built from the pools can select nodes). *)
+  let doc = W.Xmark.generate ~factor:0.02 () in
+  let type_values =
+    List.filter_map
+      (fun (n : Tree.node) ->
+        if n.Tree.name = "type" then n.Tree.value else None)
+      (Tree.nodes doc)
+  in
+  Alcotest.(check bool) "types from pool" true
+    (type_values <> []
+    && List.for_all (fun v -> List.mem v (W.Xmark.value_pool "type")) type_values)
+
+let test_xmark_non_recursive () =
+  Alcotest.(check bool) "non-recursive" false
+    (Xmlac_xml.Schema_graph.is_recursive (Lazy.force Helpers.xmark_sg))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage dataset *)
+
+let small_xmark = lazy (W.Xmark.generate ~factor:0.01 ())
+
+let test_coverage_reaches_targets () =
+  let doc = Lazy.force small_xmark in
+  List.iter
+    (fun target ->
+      let p = W.Coverage.policy_for_target ~doc ~target in
+      let c = W.Coverage.coverage_of p doc in
+      Alcotest.(check bool)
+        (Printf.sprintf "target %.2f -> %.2f" target c)
+        true (c >= target))
+    [ 0.25; 0.4; 0.6 ]
+
+let test_coverage_dataset_monotone_policies () =
+  let doc = Lazy.force small_xmark in
+  let ds = W.Coverage.dataset ~doc ~targets:[ 0.3; 0.5; 0.7 ] in
+  let sizes = List.map (fun (_, p) -> Policy.size p) ds in
+  Alcotest.(check bool) "more coverage, more rules" true
+    (List.sort compare sizes = sizes)
+
+let test_coverage_has_negative_rules () =
+  let doc = Lazy.force small_xmark in
+  let _, p = List.hd (W.Coverage.dataset ~doc ~targets:[ 0.3 ]) in
+  Alcotest.(check bool) "negatives present" true (Policy.negative p <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let test_queries_count_and_determinism () =
+  let a = W.Queries.response_queries () in
+  let b = W.Queries.response_queries () in
+  Alcotest.(check int) "55" 55 (List.length a);
+  Alcotest.(check (list string)) "deterministic"
+    (List.map Pp.expr_to_string a)
+    (List.map Pp.expr_to_string b)
+
+let test_queries_satisfiable () =
+  let sg = Lazy.force Helpers.xmark_sg in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (Pp.expr_to_string e) true
+        (Xmlac_xpath.Schema_match.satisfiable sg e))
+    (W.Queries.response_queries ())
+
+let test_delete_updates_never_root () =
+  List.iter
+    (fun (e : Xmlac_xpath.Ast.expr) ->
+      match e.Xmlac_xpath.Ast.steps with
+      | [ { Xmlac_xpath.Ast.test = Xmlac_xpath.Ast.Name "site"; _ } ] ->
+          Alcotest.fail "root-selecting update"
+      | _ -> ())
+    (W.Queries.delete_updates ())
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run ~and_exit:false "workload"
+    [
+      ( "hospital",
+        [
+          tc "sample valid" test_hospital_sample_valid;
+          tc "sample shape" test_hospital_sample_shape;
+          tc "generate valid" test_hospital_generate_valid;
+          tc "generate deterministic" test_hospital_generate_deterministic;
+          tc "golden accessible set" test_hospital_golden_accessible;
+        ] );
+      ( "docgen",
+        [
+          tc "valid docs" test_docgen_valid;
+          tc "rejects recursive" test_docgen_rejects_recursive;
+          tc "fanout clamped" test_docgen_fanout_clamped;
+        ] );
+      ( "xmark",
+        [
+          tc "valid" test_xmark_valid_small;
+          tc "deterministic" test_xmark_deterministic;
+          tc "scales with factor" test_xmark_scales;
+          tc "estimate rough" test_xmark_estimate_rough;
+          tc "value pools hit" test_xmark_value_pool_hits;
+          tc "non-recursive" test_xmark_non_recursive;
+        ] );
+      ( "coverage",
+        [
+          tc "reaches targets" test_coverage_reaches_targets;
+          tc "monotone policies" test_coverage_dataset_monotone_policies;
+          tc "has negative rules" test_coverage_has_negative_rules;
+        ] );
+      ( "queries",
+        [
+          tc "count and determinism" test_queries_count_and_determinism;
+          tc "satisfiable" test_queries_satisfiable;
+          tc "updates never root" test_delete_updates_never_root;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-substrate properties on the XMark schema — appended suite.
+   The hospital-schema properties live next to each subsystem; these
+   repeat the two load-bearing ones on the (much wider) XMark schema. *)
+
+module Xp = Xmlac_xpath
+open Xmlac_core
+
+let xmark_sg = Lazy.force Helpers.xmark_sg
+let xmark_mapping = Xmlac_shrex.Mapping.of_dtd W.Xmark.dtd
+
+let xmark_qgen_config =
+  {
+    Xp.Qgen.default_config with
+    Xp.Qgen.value_pool = W.Xmark.value_pool;
+    pred_prob = 0.35;
+  }
+
+let xmark_translation_prop =
+  QCheck2.Test.make ~name:"XPath->SQL equivalence on the XMark schema"
+    ~count:25 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = W.Xmark.generate ~seed:(Prng.next_int64 rng) ~factor:0.003 () in
+      let db = Xmlac_reldb.Database.create Xmlac_reldb.Table.Row in
+      ignore (Xmlac_shrex.Shred.load xmark_mapping ~default_sign:"-" db doc);
+      let ok = ref true in
+      for _ = 1 to 4 do
+        let e = Xp.Qgen.gen_expr ~config:xmark_qgen_config rng xmark_sg in
+        let native =
+          List.sort compare
+            (List.map (fun (n : Tree.node) -> n.Tree.id) (Xp.Eval.eval doc e))
+        in
+        if native <> Xmlac_shrex.Translate.eval_ids xmark_mapping db e then
+          ok := false
+      done;
+      !ok)
+
+let xmark_reannotation_prop =
+  QCheck2.Test.make
+    ~name:"partial reannotation = reference on the XMark schema (Overlap)"
+    ~count:15 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = W.Xmark.generate ~seed:(Prng.next_int64 rng) ~factor:0.003 () in
+      let rules =
+        List.init
+          (2 + Prng.int rng 5)
+          (fun i ->
+            Rule.make
+              ~name:(Printf.sprintf "M%d" i)
+              ~resource:(Xp.Qgen.gen_expr ~config:xmark_qgen_config rng xmark_sg)
+              (if Prng.bool rng then Rule.Plus else Rule.Minus))
+      in
+      let policy = Policy.make ~ds:Rule.Minus ~cr:Rule.Minus rules in
+      let depend = Depend.build ~mode:(Depend.Overlap xmark_sg) policy in
+      let update =
+        let rec pick () =
+          let e = Xp.Qgen.gen_expr ~config:xmark_qgen_config rng xmark_sg in
+          match e.Xp.Ast.steps with
+          | [ _ ] -> pick () (* avoid root-level deletes *)
+          | _ -> e
+        in
+        pick ()
+      in
+      let working = Tree.copy doc in
+      let backend = Xml_backend.make working in
+      let _ = Annotator.annotate backend policy in
+      let _ = Reannotator.reannotate ~schema:xmark_sg backend depend ~update in
+      let reference = Tree.copy doc in
+      ignore (Xmlac_xmldb.Update.delete reference update);
+      Policy.accessible_ids policy reference
+      = Backend.accessible_ids backend ~default:Rule.Minus)
+
+let () =
+  Alcotest.run "workload-xmark-properties"
+    [
+      ( "xmark properties",
+        [
+          QCheck_alcotest.to_alcotest xmark_translation_prop;
+          QCheck_alcotest.to_alcotest xmark_reannotation_prop;
+        ] );
+    ]

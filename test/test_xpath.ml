@@ -1,0 +1,744 @@
+(* Tests for the XPath fragment: parsing, printing, evaluation,
+   containment, schema-level matching, expansion and generation. *)
+
+module Ast = Xmlac_xpath.Ast
+module Parser = Xmlac_xpath.Parser
+module Pp = Xmlac_xpath.Pp
+module Eval = Xmlac_xpath.Eval
+module Containment = Xmlac_xpath.Containment
+module Pattern = Xmlac_xpath.Pattern
+module Schema_match = Xmlac_xpath.Schema_match
+module Expand = Xmlac_xpath.Expand
+module Qgen = Xmlac_xpath.Qgen
+module Tree = Xmlac_xml.Tree
+module Sg = Xmlac_xml.Schema_graph
+module Prng = Xmlac_util.Prng
+
+let parse = Helpers.parse
+let hospital_sg = Lazy.force Helpers.hospital_sg
+
+(* ------------------------------------------------------------------ *)
+(* Parser & printer *)
+
+let test_parse_shapes () =
+  let e = parse "//patient[treatment]/name" in
+  (match e.Ast.steps with
+  | [ s1; s2 ] ->
+      Alcotest.(check bool) "descendant first" true (s1.Ast.axis = Ast.Descendant);
+      Alcotest.(check bool) "child second" true (s2.Ast.axis = Ast.Child);
+      Alcotest.(check int) "one qual" 1 (List.length s1.Ast.quals)
+  | _ -> Alcotest.fail "expected two steps");
+  let e = parse "/hospital" in
+  match e.Ast.steps with
+  | [ s ] -> Alcotest.(check bool) "child-anchored" true (s.Ast.axis = Ast.Child)
+  | _ -> Alcotest.fail "expected one step"
+
+let test_parse_value_preds () =
+  match (parse "//regular[bill > 1000]").Ast.steps with
+  | [ { Ast.quals = [ Ast.Value ([ b ], Ast.Gt, "1000") ]; _ } ] ->
+      Alcotest.(check bool) "bill step" true (b.Ast.test = Ast.Name "bill")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parse_self_value () =
+  match (parse "//med[. = \"x\"]").Ast.steps with
+  | [ { Ast.quals = [ Ast.Value ([], Ast.Eq, "x") ]; _ } ] -> ()
+  | _ -> Alcotest.fail "self value predicate"
+
+let test_parse_conjunction () =
+  match (parse "//a[b and c = \"d\"]").Ast.steps with
+  | [ { Ast.quals = [ Ast.And (Ast.Exists _, Ast.Value _) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "conjunction"
+
+let test_parse_descendant_in_pred () =
+  match (parse "//patient[.//experimental]").Ast.steps with
+  | [ { Ast.quals = [ Ast.Exists [ s ] ]; _ } ] ->
+      Alcotest.(check bool) "descendant" true (s.Ast.axis = Ast.Descendant)
+  | _ -> Alcotest.fail "descendant in predicate"
+
+let test_parse_rejects () =
+  let bad s =
+    match Parser.parse s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "patient";
+  bad "//";
+  bad "//a[";
+  bad "//a[]";
+  bad "//a[b = ]";
+  bad "//a]";
+  bad "//a[.]";
+  bad "//a trailing"
+
+let test_pp_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      let e = parse s in
+      let printed = Pp.expr_to_string e in
+      let e' = parse printed in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s -> %s" s printed)
+        true (Ast.equal_expr e e'))
+    [
+      "//patient"; "/hospital/dept"; "//patient[treatment]/name";
+      "//patient[.//experimental]"; "//regular[med = \"celecoxib\"]";
+      "//regular[bill > 1000]"; "//a[b and c = \"d\"]"; "//a[b/c][d]";
+      "//*[*]"; "//med[. = \"x\"]"; "//a[b != \"q\"]"; "//a[b <= 3]";
+      "/a//b/c//d";
+    ]
+
+let test_ast_size () =
+  Alcotest.(check int) "size counts qual steps" 3
+    (Ast.size (parse "//patient[treatment]/name"));
+  Alcotest.(check int) "self preds add nothing" 1
+    (Ast.size (parse "//med[. = \"x\"]"))
+
+let test_strip_quals () =
+  Alcotest.(check string) "stripped" "//patient/name"
+    (Pp.expr_to_string (Ast.strip_quals (parse "//patient[treatment]/name")))
+
+let test_has_descendant_in_qual () =
+  Alcotest.(check bool) "yes" true
+    (Ast.has_descendant_in_qual (parse "//patient[.//experimental]"));
+  Alcotest.(check bool) "no" false
+    (Ast.has_descendant_in_qual (parse "//patient[treatment]//name"))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let doc = Helpers.hospital_doc ()
+
+let test_eval_counts () =
+  List.iter
+    (fun (q, n) ->
+      Alcotest.(check int) q n (Eval.count doc (parse q)))
+    [
+      ("//patient", 3);
+      ("//patient[treatment]", 2);
+      ("//patient[.//experimental]", 1);
+      ("//patient/name", 3);
+      ("//regular", 1);
+      ("//regular[med = \"celecoxib\"]", 0);
+      ("//regular[med = \"enoxaparin\"]", 1);
+      ("//regular[bill > 1000]", 0);
+      ("//experimental[bill > 1000]", 1);
+      ("//experimental[bill >= 1600]", 1);
+      ("//experimental[bill > 1600]", 0);
+      ("//bill[. < 1000]", 1);
+      ("//bill[. != 700]", 1);
+      ("/hospital", 1);
+      ("/hospital/dept/patients/patient", 3);
+      ("/patient", 0);
+      ("//*", 21);
+      ("//patient[psn and name]", 3);
+      ("//patient[psn][name]", 3);
+      ("//patient[psn = \"042\"]", 1);
+      ("//hospital", 1);
+      ("/hospital//bill", 2);
+      ("//dept/*", 2);
+    ]
+
+let test_eval_order_dedup () =
+  (* //hospital//name and //name select the same nodes, once each, in
+     document order. *)
+  let a = Eval.eval doc (parse "//name") in
+  let ids = List.map (fun (n : Tree.node) -> n.Tree.id) a in
+  Alcotest.(check bool) "sorted doc order" true
+    (ids = List.sort compare ids);
+  Alcotest.(check int) "dedup" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_eval_rel () =
+  let patients = Eval.eval doc (parse "//patient") in
+  match patients with
+  | p :: _ ->
+      let names =
+        Eval.eval_rel doc p [ Ast.step Ast.Child (Ast.Name "name") ]
+      in
+      Alcotest.(check int) "one name" 1 (List.length names);
+      Alcotest.(check int) "self on empty path" 1
+        (List.length (Eval.eval_rel doc p []))
+  | [] -> Alcotest.fail "no patients"
+
+let test_eval_matches () =
+  let e = parse "//patient[treatment]" in
+  let yes = Eval.eval doc e in
+  List.iter
+    (fun n -> Alcotest.(check bool) "matches" true (Eval.matches doc e n))
+    yes
+
+(* ------------------------------------------------------------------ *)
+(* Containment *)
+
+let contained p q = Containment.contained_in (parse p) (parse q)
+
+let test_containment_table () =
+  let cases =
+    [
+      (* (p, q, p ⊑ q) — the paper's Table 3 decisions first. *)
+      ("//patient[treatment]/name", "//patient/name", true);
+      ("//regular[med = \"celecoxib\"]", "//regular", true);
+      ("//regular[bill > 1000]", "//regular", true);
+      ("//patient[treatment]", "//patient", true);
+      ("//patient", "//patient[treatment]", false);
+      (* Axis structure. *)
+      ("/hospital/dept", "//dept", true);
+      ("//dept", "/hospital/dept", false);
+      ("//a/b", "//b", true);
+      ("//b", "//a/b", false);
+      ("//a/b", "//a//b", true);
+      ("//a//b", "//a/b", false);
+      ("/a/b/c", "//a//c", true);
+      ("//a//c", "/a/b/c", false);
+      (* Wildcards. *)
+      ("//a", "//*", true);
+      ("//*", "//a", false);
+      ("//a/b", "//*/b", true);
+      ("//*/b", "//a/b", false);
+      (* Predicates. *)
+      ("//a[b][c]", "//a[b]", true);
+      ("//a[b]", "//a[b][c]", false);
+      ("//a[b/c]", "//a[b]", true);
+      ("//a[b]", "//a[b/c]", false);
+      ("//a[b = \"x\"]", "//a[b]", true);
+      ("//a[b]", "//a[b = \"x\"]", false);
+      ("//a[.//b]", "//a[.//b]", true);
+      ("//a[b/c]", "//a[.//c]", true);
+      ("//a[.//c]", "//a[b/c]", false);
+      (* Value implication. *)
+      ("//a[b > 1000]", "//a[b > 500]", true);
+      ("//a[b > 500]", "//a[b > 1000]", false);
+      ("//a[b = 700]", "//a[b < 1000]", true);
+      ("//a[b = 700]", "//a[b > 1000]", false);
+      ("//a[b >= 10]", "//a[b > 5]", true);
+      ("//a[b > 5]", "//a[b >= 5]", true);
+      ("//a[b >= 5]", "//a[b > 5]", false);
+      ("//a[b = \"x\"]", "//a[b != \"y\"]", true);
+      ("//a[b = \"x\"]", "//a[b != \"x\"]", false);
+      ("//a[b < 5]", "//a[b <= 5]", true);
+      ("//a[b <= 5]", "//a[b < 5]", false);
+      (* Identical. *)
+      ("//patient[treatment]", "//patient[treatment]", true);
+      (* Unrelated. *)
+      ("//regular", "//patient", false);
+      ("//a/b", "//a/c", false);
+    ]
+  in
+  List.iter
+    (fun (p, q, want) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in %s" p q)
+        want (contained p q))
+    cases
+
+let test_equivalent () =
+  Alcotest.(check bool) "refl" true
+    (Containment.equivalent (parse "//a[b][c]") (parse "//a[c][b]"));
+  Alcotest.(check bool) "not equiv" false
+    (Containment.equivalent (parse "//a[b]") (parse "//a"))
+
+let test_comparable () =
+  Alcotest.(check bool) "comparable" true
+    (Containment.comparable (parse "//patient[treatment]") (parse "//patient"));
+  Alcotest.(check bool) "incomparable" false
+    (Containment.comparable (parse "//regular") (parse "//experimental"))
+
+let test_implies () =
+  let i a b = Containment.implies a b in
+  Alcotest.(check bool) "eq->lt" true (i (Ast.Eq, "3") (Ast.Lt, "5"));
+  Alcotest.(check bool) "eq->eq numeric" true (i (Ast.Eq, "3.0") (Ast.Eq, "3"));
+  Alcotest.(check bool) "gt chain" true (i (Ast.Gt, "10") (Ast.Gt, "9"));
+  Alcotest.(check bool) "not weaker" false (i (Ast.Gt, "9") (Ast.Gt, "10"));
+  Alcotest.(check bool) "neq same" true (i (Ast.Neq, "a") (Ast.Neq, "a"));
+  Alcotest.(check bool) "le->neq" true (i (Ast.Lt, "5") (Ast.Neq, "7"))
+
+let test_pattern_structure () =
+  let p = Pattern.of_expr (parse "//patient[treatment]/name") in
+  Alcotest.(check int) "spine length (root + 2 steps)" 3
+    (List.length p.Pattern.spine);
+  Alcotest.(check int) "node count" 4 p.Pattern.count;
+  let out = Pattern.output p in
+  Alcotest.(check bool) "output label" true
+    (out.Pattern.label = Pattern.Label "name")
+
+(* Soundness: if the homomorphism test says p ⊑ q then evaluation
+   agrees on random documents. *)
+let containment_sound_prop =
+  QCheck2.Test.make ~name:"containment is sound on random docs/exprs"
+    ~count:200 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let p = Helpers.random_hospital_expr rng in
+      let q = Helpers.random_hospital_expr rng in
+      if Containment.contained_in p q then begin
+        let set_q = Eval.node_set doc q in
+        List.for_all
+          (fun (n : Tree.node) -> Hashtbl.mem set_q n.Tree.id)
+          (Eval.eval doc p)
+      end
+      else true)
+
+let containment_reflexive_prop =
+  QCheck2.Test.make ~name:"containment is reflexive" ~count:100
+    QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let p = Helpers.random_hospital_expr rng in
+      Containment.contained_in p p)
+
+(* ------------------------------------------------------------------ *)
+(* Schema matching *)
+
+let test_spine_matches_path () =
+  let m e path = Schema_match.spine_matches_path (parse e) path in
+  Alcotest.(check bool) "exact" true
+    (m "/hospital/dept" [ "hospital"; "dept" ]);
+  Alcotest.(check bool) "descendant gap" true
+    (m "//med" [ "hospital"; "dept"; "patients"; "patient"; "treatment";
+                 "regular"; "med" ]);
+  Alcotest.(check bool) "must consume all" false
+    (m "/hospital" [ "hospital"; "dept" ]);
+  Alcotest.(check bool) "wildcard" true (m "/hospital/*" [ "hospital"; "dept" ])
+
+let test_matched_root_paths () =
+  let paths = Schema_match.matched_root_paths hospital_sg (parse "//name") in
+  Alcotest.(check int) "three name paths" 3 (List.length paths);
+  let paths =
+    Schema_match.matched_root_paths hospital_sg
+      (parse "//patient[.//experimental]")
+  in
+  Alcotest.(check int) "patient path" 1 (List.length paths)
+
+let test_selected_types () =
+  Alcotest.(check (list string)) "bill" [ "bill" ]
+    (Schema_match.selected_types hospital_sg (parse "//regular/bill"));
+  Alcotest.(check (list string)) "dept kids" [ "patients"; "staffinfo" ]
+    (Schema_match.selected_types hospital_sg (parse "//dept/*"))
+
+let test_satisfiable () =
+  Alcotest.(check bool) "ok" true
+    (Schema_match.satisfiable hospital_sg (parse "//patient/name"));
+  Alcotest.(check bool) "wrong child" false
+    (Schema_match.satisfiable hospital_sg (parse "//patient/bill"));
+  Alcotest.(check bool) "impossible pred" false
+    (Schema_match.satisfiable hospital_sg (parse "//patient[bill]"));
+  Alcotest.(check bool) "possible pred" true
+    (Schema_match.satisfiable hospital_sg (parse "//patient[.//bill]"))
+
+let test_overlap_disjoint () =
+  let ov a b = Schema_match.overlap hospital_sg (parse a) (parse b) in
+  Alcotest.(check bool) "same type" true (ov "//patient" "//patient[treatment]");
+  Alcotest.(check bool) "disjoint types" false (ov "//regular" "//experimental");
+  Alcotest.(check bool) "same type different paths" false
+    (ov "//regular/bill" "//experimental/bill");
+  Alcotest.(check bool) "name overlap" true (ov "//name" "//patient/name");
+  Alcotest.(check bool) "staff vs patient name" false
+    (ov "//nurse/name" "//patient/name")
+
+(* Disjointness is sound: if schema says disjoint, evaluations never
+   intersect on valid documents. *)
+let disjoint_sound_prop =
+  QCheck2.Test.make ~name:"schema disjointness is sound" ~count:200
+    QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let p = Helpers.random_hospital_expr rng in
+      let q = Helpers.random_hospital_expr rng in
+      if Schema_match.disjoint hospital_sg p q then begin
+        let set_q = Eval.node_set doc q in
+        not
+          (List.exists
+             (fun (n : Tree.node) -> Hashtbl.mem set_q n.Tree.id)
+             (Eval.eval doc p))
+      end
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Expansion *)
+
+let expand_strings ?schema e =
+  List.sort String.compare
+    (List.map Pp.expr_to_string (Expand.expand ?schema (parse e)))
+
+let test_expand_r3 () =
+  (* The paper's example: R3 = //patient[treatment] expands to
+     {//patient, //patient/treatment}. *)
+  Alcotest.(check (list string)) "R3"
+    [ "//patient"; "//patient/treatment" ]
+    (expand_strings "//patient[treatment]")
+
+let test_expand_r5_schema () =
+  (* R5 = //patient[.//experimental] expands through the schema to
+     //patient/treatment and //patient/treatment/experimental. *)
+  Alcotest.(check (list string)) "R5"
+    [ "//patient"; "//patient/treatment"; "//patient/treatment/experimental" ]
+    (expand_strings ~schema:hospital_sg "//patient[.//experimental]")
+
+let test_expand_r5_no_schema () =
+  (* Without a schema the descendant step stays. *)
+  Alcotest.(check (list string)) "R5 raw"
+    [ "//patient"; "//patient//experimental" ]
+    (expand_strings "//patient[.//experimental]")
+
+let test_expand_nested () =
+  Alcotest.(check (list string)) "nested preds"
+    [ "//a"; "//a/b"; "//a/b/c" ]
+    (expand_strings "//a[b[c]]")
+
+let test_expand_value_pred () =
+  Alcotest.(check (list string)) "value pred path"
+    [ "//regular"; "//regular/med" ]
+    (expand_strings "//regular[med = \"celecoxib\"]")
+
+let test_expand_conjunction () =
+  Alcotest.(check (list string)) "conjunction"
+    [ "//a"; "//a/b"; "//a/c" ]
+    (expand_strings "//a[b and c]")
+
+let test_expand_spine_only () =
+  Alcotest.(check (list string)) "no predicates"
+    [ "//patient/name" ]
+    (expand_strings "//patient/name")
+
+let test_expand_mid_spine_pred () =
+  Alcotest.(check (list string)) "mid-spine"
+    [ "//patient/name"; "//patient/treatment" ]
+    (expand_strings "//patient[treatment]/name")
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let test_qgen_satisfiable () =
+  let rng = Prng.create ~seed:99L in
+  for _ = 1 to 200 do
+    let e = Qgen.gen_expr ~config:Helpers.hospital_qgen_config rng hospital_sg in
+    Alcotest.(check bool)
+      (Pp.expr_to_string e)
+      true
+      (Schema_match.satisfiable hospital_sg e)
+  done
+
+let test_qgen_targeting () =
+  let rng = Prng.create ~seed:100L in
+  for _ = 1 to 50 do
+    let e = Qgen.gen_targeting rng hospital_sg ~target:"bill" in
+    let types = Schema_match.selected_types hospital_sg e in
+    Alcotest.(check bool) "ends at bill or wildcard-including-bill" true
+      (List.mem "bill" types)
+  done
+
+let test_qgen_deterministic () =
+  let gen seed =
+    let rng = Prng.create ~seed in
+    List.init 10 (fun _ ->
+        Pp.expr_to_string (Qgen.gen_expr rng hospital_sg))
+  in
+  Alcotest.(check (list string)) "same seed same exprs" (gen 7L) (gen 7L)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run ~and_exit:false "xpath"
+    [
+      ( "parser",
+        [
+          tc "shapes" test_parse_shapes;
+          tc "value predicates" test_parse_value_preds;
+          tc "self value" test_parse_self_value;
+          tc "conjunction" test_parse_conjunction;
+          tc "descendant in predicate" test_parse_descendant_in_pred;
+          tc "rejects malformed" test_parse_rejects;
+          tc "pp round trip" test_pp_roundtrip_cases;
+          tc "ast size" test_ast_size;
+          tc "strip_quals" test_strip_quals;
+          tc "has_descendant_in_qual" test_has_descendant_in_qual;
+        ] );
+      ( "eval",
+        [
+          tc "counts on the hospital document" test_eval_counts;
+          tc "order and dedup" test_eval_order_dedup;
+          tc "relative paths" test_eval_rel;
+          tc "matches" test_eval_matches;
+        ] );
+      ( "containment",
+        [
+          tc "decision table" test_containment_table;
+          tc "equivalence" test_equivalent;
+          tc "comparable" test_comparable;
+          tc "value implication" test_implies;
+          tc "pattern structure" test_pattern_structure;
+          QCheck_alcotest.to_alcotest containment_sound_prop;
+          QCheck_alcotest.to_alcotest containment_reflexive_prop;
+        ] );
+      ( "schema match",
+        [
+          tc "spine vs label path" test_spine_matches_path;
+          tc "matched root paths" test_matched_root_paths;
+          tc "selected types" test_selected_types;
+          tc "satisfiability" test_satisfiable;
+          tc "overlap/disjoint" test_overlap_disjoint;
+          QCheck_alcotest.to_alcotest disjoint_sound_prop;
+        ] );
+      ( "expand",
+        [
+          tc "paper example R3" test_expand_r3;
+          tc "paper example R5 (schema)" test_expand_r5_schema;
+          tc "R5 without schema" test_expand_r5_no_schema;
+          tc "nested predicates" test_expand_nested;
+          tc "value predicate path" test_expand_value_pred;
+          tc "conjunction" test_expand_conjunction;
+          tc "spine only" test_expand_spine_only;
+          tc "mid-spine predicate" test_expand_mid_spine_pred;
+        ] );
+      ( "qgen",
+        [
+          tc "satisfiable by construction" test_qgen_satisfiable;
+          tc "targeting" test_qgen_targeting;
+          tc "deterministic" test_qgen_deterministic;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator cross-check — appended suite.
+
+   The production evaluator streams and short-circuits; this naive
+   reference materializes every intermediate node set with the textbook
+   semantics.  Any divergence on random documents and expressions is a
+   bug in one of them. *)
+
+module Reference = struct
+  open Ast
+
+  let test_ok test (n : Tree.node) =
+    match test with Wildcard -> true | Name l -> String.equal l n.Tree.name
+
+  let dedup nodes =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun (n : Tree.node) ->
+        if Hashtbl.mem seen n.Tree.id then false
+        else begin
+          Hashtbl.replace seen n.Tree.id ();
+          true
+        end)
+      nodes
+
+  let rec select_path context p = List.fold_left select_step context p
+
+  and select_step context s =
+    let candidates =
+      match s.axis with
+      | Child -> List.concat_map Tree.children context
+      | Descendant -> List.concat_map Tree.descendants context
+    in
+    dedup candidates
+    |> List.filter (test_ok s.test)
+    |> List.filter (fun n -> List.for_all (qual_ok n) s.quals)
+
+  and qual_ok n = function
+    | Exists p -> select_path [ n ] p <> []
+    | Value (p, op, d) ->
+        List.exists
+          (fun (m : Tree.node) ->
+            match m.Tree.value with
+            | Some v -> cmp_holds op v d
+            | None -> false)
+          (select_path [ n ] p)
+    | And (a, b) -> qual_ok n a && qual_ok n b
+
+  let eval t (e : expr) =
+    match e.steps with
+    | [] -> [ Tree.root t ]
+    | first :: rest ->
+        let initial =
+          let candidates =
+            match first.axis with
+            | Child -> [ Tree.root t ]
+            | Descendant -> Tree.descendant_or_self (Tree.root t)
+          in
+          List.filter
+            (fun n ->
+              test_ok first.test n && List.for_all (qual_ok n) first.quals)
+            candidates
+        in
+        select_path initial rest
+end
+
+let ids_of nodes = List.map (fun (n : Tree.node) -> n.Tree.id) nodes
+
+let eval_matches_reference_prop =
+  QCheck2.Test.make ~name:"streaming evaluator = reference evaluator"
+    ~count:300 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let e = Helpers.random_hospital_expr rng in
+        if ids_of (Eval.eval doc e) <> ids_of (Reference.eval doc e) then
+          ok := false
+      done;
+      !ok)
+
+let test_eval_matches_reference_fixed () =
+  let doc = Helpers.hospital_doc () in
+  List.iter
+    (fun q ->
+      let e = parse q in
+      Alcotest.(check (list int)) q
+        (ids_of (Reference.eval doc e))
+        (ids_of (Eval.eval doc e)))
+    [
+      "//patient"; "//patient[treatment]/name"; "//patient[.//experimental]";
+      "//*"; "//dept/*"; "/hospital//bill"; "//bill[. > 1000]";
+      "//patient[psn and name]"; "//name"; "/hospital/dept/patients/patient";
+    ]
+
+let () =
+  Alcotest.run ~and_exit:false "xpath-extra"
+    [
+      ( "reference evaluator",
+        [
+          Alcotest.test_case "fixed cases" `Quick test_eval_matches_reference_fixed;
+          QCheck_alcotest.to_alcotest eval_matches_reference_prop;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema-aware containment — appended suite. *)
+
+let sc p q = Containment.contained_in_schema hospital_sg (parse p) (parse q)
+
+let test_schema_containment_gains () =
+  (* Judgements the pure homomorphism test cannot make but the DTD
+     proves. *)
+  Alcotest.(check bool) "//dept in /hospital/dept" true
+    (sc "//dept" "/hospital/dept");
+  Alcotest.(check bool) "not the pure test" false
+    (Containment.contained_in (parse "//dept") (parse "/hospital/dept"));
+  Alcotest.(check bool) "//med anchored" true
+    (sc "//med" "/hospital/dept/patients/patient/treatment/regular/med");
+  Alcotest.(check bool) "//experimental under patient" true
+    (sc "//experimental" "//patient//experimental");
+  Alcotest.(check bool) "unsatisfiable contained in anything" true
+    (sc "//patient/bill" "//psn")
+
+let test_schema_containment_preserves_pure () =
+  (* At least as strong as the pure test. *)
+  List.iter
+    (fun (p, q) ->
+      Alcotest.(check bool) (p ^ " in " ^ q) true (sc p q))
+    [
+      ("//patient[treatment]", "//patient");
+      ("//patient[treatment]/name", "//patient/name");
+      ("//regular[bill > 1000]", "//regular");
+      ("/hospital/dept", "//dept");
+    ]
+
+let test_schema_containment_still_rejects () =
+  Alcotest.(check bool) "patient not in name" false (sc "//patient" "//name");
+  Alcotest.(check bool) "broad not in narrow pred" false
+    (sc "//patient" "//patient[treatment]");
+  (* name occurs under patient, nurse and doctor: //name is NOT
+     contained in //patient/name under this DTD. *)
+  Alcotest.(check bool) "name has other parents" false
+    (sc "//name" "//patient/name")
+
+(* Soundness on valid documents: if the schema-aware test says yes,
+   evaluation agrees on every generated (hence valid) document. *)
+let schema_containment_sound_prop =
+  QCheck2.Test.make ~name:"schema containment sound on valid docs" ~count:200
+    QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let p = Helpers.random_hospital_expr rng in
+      let q = Helpers.random_hospital_expr rng in
+      if Containment.contained_in_schema hospital_sg p q then begin
+        let set_q = Eval.node_set doc q in
+        List.for_all
+          (fun (n : Tree.node) -> Hashtbl.mem set_q n.Tree.id)
+          (Eval.eval doc p)
+      end
+      else true)
+
+(* The schema-aware optimizer removes at least as much as the pure one
+   and preserves semantics on valid documents. *)
+let schema_optimizer_prop =
+  QCheck2.Test.make ~name:"schema-aware optimization preserves semantics"
+    ~count:80 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let rules =
+        List.init
+          (1 + Prng.int rng 6)
+          (fun i ->
+            Xmlac_core.Rule.make
+              ~name:(Printf.sprintf "S%d" i)
+              ~resource:(Helpers.random_hospital_expr rng)
+              (if Prng.bool rng then Xmlac_core.Rule.Plus
+               else Xmlac_core.Rule.Minus))
+      in
+      let p =
+        Xmlac_core.Policy.make ~ds:Xmlac_core.Rule.Minus
+          ~cr:Xmlac_core.Rule.Minus rules
+      in
+      let pure = Xmlac_core.Optimizer.optimize_policy p in
+      let aware =
+        Xmlac_core.Optimizer.optimize_policy ~schema:hospital_sg p
+      in
+      Xmlac_core.Policy.size aware <= Xmlac_core.Policy.size pure
+      && Xmlac_core.Policy.accessible_ids p doc
+         = Xmlac_core.Policy.accessible_ids aware doc)
+
+let test_schema_optimizer_example () =
+  (* //dept is redundant next to /hospital/dept only with the schema. *)
+  let p =
+    Xmlac_core.Policy.make ~ds:Xmlac_core.Rule.Minus ~cr:Xmlac_core.Rule.Minus
+      [
+        Xmlac_core.Rule.parse ~name:"K1" "/hospital/dept" Xmlac_core.Rule.Plus;
+        Xmlac_core.Rule.parse ~name:"K2" "//dept" Xmlac_core.Rule.Plus;
+      ]
+  in
+  Alcotest.(check int) "pure keeps both... "
+    1
+    (* /hospital/dept ⊑ //dept holds purely, so even the pure optimizer
+       folds them — but into //dept. *)
+    (Xmlac_core.Policy.size (Xmlac_core.Optimizer.optimize_policy p));
+  let aware = Xmlac_core.Optimizer.optimize_policy ~schema:hospital_sg p in
+  Alcotest.(check int) "aware folds too" 1 (Xmlac_core.Policy.size aware)
+
+let test_schema_optimizer_strictly_better () =
+  (* //patients[patient]/patient vs //patient: pure containment cannot
+     anchor the former's [patients] prefix... both directions hold only
+     with the schema for the reverse. *)
+  let p =
+    Xmlac_core.Policy.make ~ds:Xmlac_core.Rule.Minus ~cr:Xmlac_core.Rule.Minus
+      [
+        Xmlac_core.Rule.parse ~name:"K1" "//patients/patient" Xmlac_core.Rule.Plus;
+        Xmlac_core.Rule.parse ~name:"K2" "//patient" Xmlac_core.Rule.Plus;
+        Xmlac_core.Rule.parse ~name:"K3" "//dept" Xmlac_core.Rule.Minus;
+        Xmlac_core.Rule.parse ~name:"K4" "/hospital/dept" Xmlac_core.Rule.Minus;
+      ]
+  in
+  let pure = Xmlac_core.Optimizer.optimize_policy p in
+  let aware = Xmlac_core.Optimizer.optimize_policy ~schema:hospital_sg p in
+  (* Purely: K1 ⊑ K2 folds; K4 ⊑ K3 folds; nothing else. *)
+  Alcotest.(check int) "pure size" 2 (Xmlac_core.Policy.size pure);
+  Alcotest.(check bool) "aware no bigger" true
+    (Xmlac_core.Policy.size aware <= Xmlac_core.Policy.size pure)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "xpath-schema"
+    [
+      ( "schema containment",
+        [
+          tc "gains over pure test" test_schema_containment_gains;
+          tc "preserves pure results" test_schema_containment_preserves_pure;
+          tc "still rejects" test_schema_containment_still_rejects;
+          QCheck_alcotest.to_alcotest schema_containment_sound_prop;
+        ] );
+      ( "schema-aware optimizer",
+        [
+          tc "example" test_schema_optimizer_example;
+          tc "not worse than pure" test_schema_optimizer_strictly_better;
+          QCheck_alcotest.to_alcotest schema_optimizer_prop;
+        ] );
+    ]
