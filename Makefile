@@ -6,6 +6,17 @@ all:
 test:
 	dune runtest
 
+# What CI runs: build, tests, and — when ocamlformat is available —
+# a formatting check.
+ci:
+	dune build @all
+	dune runtest
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
 bench:
 	dune exec bench/main.exe
 
@@ -21,4 +32,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test bench bench-full doc quickstart clean
+.PHONY: all test ci bench bench-full doc quickstart clean

@@ -17,6 +17,7 @@ type experiment =
   | Fig11
   | Fig12
   | Ablation
+  | AblationPlan
   | Micro
   | All
 
@@ -28,6 +29,7 @@ let experiment_of_string = function
   | "fig11" -> Ok Fig11
   | "fig12" -> Ok Fig12
   | "ablation" -> Ok Ablation
+  | "ablation-plan" -> Ok AblationPlan
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -45,6 +47,7 @@ let experiment_conv =
           | Fig11 -> "fig11"
           | Fig12 -> "fig12"
           | Ablation -> "ablation"
+          | AblationPlan -> "ablation-plan"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -56,6 +59,7 @@ let run_one cfg = function
   | Fig11 -> Exp_fig11.run cfg
   | Fig12 -> Exp_fig12.run cfg
   | Ablation -> Exp_ablation.run cfg
+  | AblationPlan -> Exp_ablation_plan.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -65,6 +69,7 @@ let run_one cfg = function
       Exp_fig11.run cfg;
       Exp_fig12.run cfg;
       Exp_ablation.run cfg;
+      Exp_ablation_plan.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =
@@ -92,7 +97,7 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     micro or all (repeatable)."
+     ablation-plan, micro or all (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)
 

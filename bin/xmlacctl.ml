@@ -8,7 +8,8 @@
      annotate   materialize a policy's annotations into a document
      query      all-or-nothing request against an annotated document
      update     delete update + trigger-based partial re-annotation
-     depend     show rule expansions and the dependency graph *)
+     depend     show rule expansions and the dependency graph
+     explain    annotation plan, rewrite trace, lowerings, timings *)
 
 open Cmdliner
 open Xmlac_core
@@ -244,6 +245,36 @@ let depend_cmd =
     (Cmd.info "depend" ~doc:"Show rule expansions and the dependency graph.")
     Term.(const depend $ policy_path $ dtd_name)
 
+(* --- explain ------------------------------------------------------ *)
+
+let explain policy_path dtd_name doc_path raw =
+  let policy = load_policy policy_path in
+  let policy = if raw then policy else Optimizer.optimize_policy policy in
+  let dtd = load_dtd dtd_name in
+  let mapping = Xmlac_shrex.Mapping.of_dtd dtd in
+  let sg = Xmlac_shrex.Mapping.schema_graph mapping in
+  let doc = Option.map load_doc doc_path in
+  Format.printf "%a@." Plan.pp_explain
+    (Plan.explain ~schema:sg ~mapping ?doc (Plan.of_policy policy))
+
+let explain_cmd =
+  let policy_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY") in
+  let dtd_name =
+    Arg.(required & opt (some string) None & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let doc_path =
+    Arg.(value & opt (some file) None
+         & info [ "doc" ] ~doc:"Document for per-scope node counts and native evaluation.")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "raw" ] ~doc:"Compile the policy as written, skipping redundancy elimination.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show a policy's annotation plan: rewrite trace, SQL and XQuery lowerings, timings.")
+    Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw)
+
 (* --- view --------------------------------------------------------- *)
 
 let view doc_path policy_path mode output =
@@ -305,5 +336,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
-            query_cmd; update_cmd; depend_cmd; view_cmd; cam_cmd;
+            query_cmd; update_cmd; depend_cmd; explain_cmd; view_cmd; cam_cmd;
           ]))

@@ -1,7 +1,5 @@
 module Tree = Xmlac_xml.Tree
 module Xp = Xmlac_xpath
-module Sql = Xmlac_reldb.Sql
-module Value = Xmlac_reldb.Value
 
 type shape = Single | Except
 
@@ -28,76 +26,19 @@ let build policy =
   | Rule.Plus, Rule.Plus ->
       { primary = denies; secondary = grants; shape = Except; mark = Rule.Minus }
 
-let union_ids doc exprs =
-  let set = Hashtbl.create 256 in
-  List.iter
-    (fun e ->
-      List.iter
-        (fun (n : Tree.node) -> Hashtbl.replace set n.Tree.id ())
-        (Xp.Eval.eval doc e))
-    exprs;
-  set
+let to_plan t =
+  let union es = Plan.Union (List.map (fun e -> Plan.Scope e) es) in
+  let query =
+    match t.shape with
+    | Single -> union t.primary
+    | Except -> Plan.Except (union t.primary, union t.secondary)
+  in
+  (* The mark is always the opposite of the default sign (Figure 5). *)
+  { Plan.query; mark = t.mark; default = Rule.opposite t.mark }
 
 let eval_native doc t =
-  let prim = union_ids doc t.primary in
-  let sec =
-    match t.shape with
-    | Single -> Hashtbl.create 1
-    | Except -> union_ids doc t.secondary
-  in
-  List.filter
-    (fun (n : Tree.node) ->
-      Hashtbl.mem prim n.Tree.id && not (Hashtbl.mem sec n.Tree.id))
-    (Tree.nodes doc)
+  List.filter_map (Tree.find doc) (Plan.native_ids doc (to_plan t))
 
-(* An always-empty relational query, for degenerate rule sets. *)
-let sql_empty mapping =
-  let root_ty = Xmlac_xml.Dtd.root (Xmlac_shrex.Mapping.dtd mapping) in
-  Sql.Select
-    {
-      proj = [ Sql.col "t0" "id" ];
-      from = [ { Sql.table = root_ty; as_alias = "t0" } ];
-      where =
-        [ Sql.Cmp
-            {
-              lhs = Sql.Const (Value.Int 0);
-              op = Value.Eq;
-              rhs = Sql.Const (Value.Int 1);
-            } ];
-    }
-
-let sql_union mapping exprs =
-  match List.map (Xmlac_shrex.Translate.translate mapping) exprs with
-  | [] -> sql_empty mapping
-  | first :: rest -> List.fold_left (fun acc q -> Sql.Union (acc, q)) first rest
-
-let to_sql mapping t =
-  let prim = sql_union mapping t.primary in
-  match t.shape with
-  | Single -> prim
-  | Except -> Sql.Except (prim, sql_union mapping t.secondary)
-
-let xq_union exprs =
-  String.concat " union " (List.map Xp.Pp.expr_to_string exprs)
-
-let to_xquery_string ~doc_name t =
-  let body =
-    match (t.shape, t.secondary) with
-    | Single, _ | Except, [] -> xq_union t.primary
-    | Except, _ ->
-        Printf.sprintf "(%s) except (%s)" (xq_union t.primary)
-          (xq_union t.secondary)
-  in
-  Printf.sprintf
-    "for $n in doc(\"%s\")(%s)\nreturn xmlac:annotate($n, \"%s\")" doc_name
-    body
-    (Rule.effect_to_string t.mark)
-
-let pp ppf t =
-  Format.fprintf ppf "mark %s: %s"
-    (Rule.effect_to_string t.mark)
-    (match (t.shape, t.secondary) with
-    | Single, _ | Except, [] -> xq_union t.primary
-    | Except, _ ->
-        Printf.sprintf "(%s) except (%s)" (xq_union t.primary)
-          (xq_union t.secondary))
+let to_sql mapping t = Plan.to_sql mapping (to_plan t)
+let to_xquery_string ~doc_name t = Plan.to_xquery ~doc_name (to_plan t)
+let pp ppf t = Plan.pp ppf (to_plan t)

@@ -13,9 +13,9 @@
     - ds = allow, cr = deny  -> denies                (marked "-")
     - ds = allow, cr = allow -> denies EXCEPT grants  (marked "-")
 
-    The same abstract query renders to SQL (through the ShreX
-    translation, combined with UNION / EXCEPT) and to an XQuery-style
-    expression for the native store. *)
+    This module is the Figure 5 surface form; every interpretation is
+    delegated to the {!Plan} IR via {!to_plan}, so all three backends
+    share one evaluator, one SQL lowering, and one XQuery printer. *)
 
 type shape = Single | Except
 (** [Single]: the primary union alone. [Except]: primary union minus
@@ -30,18 +30,29 @@ type t = {
 
 val build : Policy.t -> t
 
+val to_plan : t -> Plan.t
+(** The plan IR of the query ([to_plan (build p)] and
+    {!Plan.of_policy}[ p] agree up to simplification); the plan's
+    [default] is the opposite of [mark]. *)
+
 val eval_native : Xmlac_xml.Tree.t -> t -> Xmlac_xml.Tree.node list
-(** Direct set-algebraic evaluation over the tree, in document
-    order. *)
+(** {!Plan.eval_native} on {!to_plan}: each scope materializes its id
+    set and the set algebra runs on those, no document scan.  Nodes
+    come back in ascending id order (= document order for documents
+    whose ids were assigned in preorder, as the parser and generators
+    do). *)
 
 val to_sql : Xmlac_shrex.Mapping.t -> t -> Xmlac_reldb.Sql.query
-(** UNION of the translated primaries, EXCEPT the UNION of the
-    translated secondaries when applicable.  An empty primary set
-    yields a query with an empty answer. *)
+(** {!Plan.to_sql} on {!to_plan}: balanced n-ary UNION of the
+    translated primaries, EXCEPT the UNION of the translated
+    secondaries when applicable.  An empty primary set yields a query
+    with an empty answer. *)
 
 val to_xquery_string : doc_name:string -> t -> string
-(** Display form mirroring the paper's example:
-    [for $n in doc("...")//((R1 union R2) except R3) return
-    xmlac:annotate($n, "+")]. *)
+(** {!Plan.to_xquery} on {!to_plan} — executable text mirroring the
+    paper's example:
+    [for $n in doc("...")((R1 union R2) except (R3)) return
+    xmlac:annotate($n, "+")], with [()] for an empty union so the
+    output always parses back through {!Xmlac_xmldb.Xquery}. *)
 
 val pp : Format.formatter -> t -> unit

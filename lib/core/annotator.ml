@@ -4,15 +4,20 @@ type stats = {
   total : int;
 }
 
-let annotate_with_query (backend : Backend.t) policy query =
-  let default = Policy.ds policy in
-  backend.Backend.reset_signs ~default;
-  let ids = backend.Backend.eval_annotation_query query in
-  let marked = backend.Backend.set_sign_ids ids query.Annotation_query.mark in
-  { reset_default = default; marked; total = backend.Backend.node_count () }
+let annotate_with_plan (backend : Backend.t) (plan : Plan.t) =
+  backend.Backend.reset_signs ~default:plan.Plan.default;
+  let ids = backend.Backend.eval_plan plan in
+  let marked = backend.Backend.set_sign_ids ids plan.Plan.mark in
+  {
+    reset_default = plan.Plan.default;
+    marked;
+    total = backend.Backend.node_count ();
+  }
 
-let annotate backend policy =
-  annotate_with_query backend policy (Annotation_query.build policy)
+let annotate ?schema ?(rewrite = true) backend policy =
+  let plan = Plan.of_policy policy in
+  let plan = if rewrite then Plan.rewrite ?schema plan else plan in
+  annotate_with_plan backend plan
 
 let coverage stats =
   if stats.total = 0 then 0.0

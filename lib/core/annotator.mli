@@ -1,7 +1,7 @@
 (** Full document annotation (Section 5.2, algorithm Annotate).
 
     Resets every node to the policy's default, evaluates the
-    annotation query, and stamps its answer with the opposite sign.
+    annotation plan, and stamps its answer with the opposite sign.
     After [annotate], the backend's effective signs materialize
     [\[\[P\]\](T)] exactly. *)
 
@@ -11,11 +11,16 @@ type stats = {
   total : int;  (** Nodes in the store at annotation time. *)
 }
 
-val annotate : Backend.t -> Policy.t -> stats
+val annotate :
+  ?schema:Xmlac_xml.Schema_graph.t -> ?rewrite:bool -> Backend.t -> Policy.t -> stats
+(** Compiles the policy with {!Plan.of_policy}, runs the rewrite
+    pipeline (on by default; [schema] enables the schema-aware
+    passes), and annotates.  [~rewrite:false] evaluates the raw plan —
+    the ablation baseline. *)
 
-val annotate_with_query : Backend.t -> Policy.t -> Annotation_query.t -> stats
-(** Same, but with a pre-built (possibly restricted) annotation
-    query — the reannotator's entry point. *)
+val annotate_with_plan : Backend.t -> Plan.t -> stats
+(** Same, but with a pre-built (possibly rewritten or restricted)
+    plan — the engine's cached-plan entry point. *)
 
 val coverage : stats -> float
 (** Fraction of nodes carrying the non-default sign, in [0, 1] — the

@@ -3,7 +3,7 @@ module Tree = Xmlac_xml.Tree
 type t = {
   name : string;
   eval_ids : Xmlac_xpath.Ast.expr -> int list;
-  eval_annotation_query : Annotation_query.t -> int list;
+  eval_plan : Plan.t -> int list;
   set_sign_ids : int list -> Tree.sign -> int;
   reset_signs : default:Tree.sign -> unit;
   sign_of : int -> Tree.sign option;

@@ -10,9 +10,12 @@ type t = {
   name : string;  (** e.g. "xquery", "row-sql", "column-sql". *)
   eval_ids : Xmlac_xpath.Ast.expr -> int list;
       (** Ids selected by an expression, ascending. *)
-  eval_annotation_query : Annotation_query.t -> int list;
-      (** Ids in the annotation query's answer (UNION/EXCEPT done in
-          the backend's own algebra). *)
+  eval_plan : Plan.t -> int list;
+      (** Ids in the annotation plan's answer, ascending — the plan is
+          lowered to the backend's own algebra (SQL with balanced
+          unions relationally, id-set algebra natively), with any
+          {!Plan.node.Restrict} applied as a semijoin on the
+          answer. *)
   set_sign_ids : int list -> Xmlac_xml.Tree.sign -> int;
       (** Stamps the sign on the given nodes; ids no longer present are
           skipped; returns how many were stamped. *)

@@ -21,6 +21,7 @@ type t = {
   mapping : Xmlac_shrex.Mapping.t;
   sg : Sg.t;
   depend : Depend.t;
+  plan : Plan.t;
   doc : Tree.t;
   row_db : Db.t;
   col_db : Db.t;
@@ -57,6 +58,7 @@ let create ?(mode = Paper_mode) ?(optimize = true) ~dtd ~policy doc =
     mapping;
     sg;
     depend = Depend.build ~mode:depend_mode policy;
+    plan = Plan.rewrite ~schema:sg (Plan.of_policy policy);
     doc = native_doc;
     row_db;
     col_db;
@@ -71,6 +73,12 @@ let optimizer_report t = t.report
 let mapping t = t.mapping
 let schema_graph t = t.sg
 let depend t = t.depend
+let plan t = t.plan
+
+let explain ?(with_doc = true) t =
+  Plan.explain ~schema:t.sg ~mapping:t.mapping
+    ?doc:(if with_doc then Some t.doc else None)
+    (Plan.of_policy t.policy)
 
 let backend t = function
   | Native -> t.native
@@ -79,7 +87,7 @@ let backend t = function
 
 let document t = t.doc
 
-let annotate t kind = Annotator.annotate (backend t kind) t.policy
+let annotate t kind = Annotator.annotate_with_plan (backend t kind) t.plan
 
 let annotate_all t =
   List.map (fun k -> (k, annotate t k)) all_backend_kinds

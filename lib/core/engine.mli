@@ -36,6 +36,17 @@ val optimizer_report : t -> Optimizer.report option
 val mapping : t -> Xmlac_shrex.Mapping.t
 val schema_graph : t -> Xmlac_xml.Schema_graph.t
 val depend : t -> Depend.t
+
+val plan : t -> Plan.t
+(** The cached annotation plan: {!Plan.of_policy} of the in-force
+    policy, rewritten against the schema graph at [create] time.
+    Every {!annotate} call evaluates this one plan. *)
+
+val explain : ?with_doc:bool -> t -> Plan.explain
+(** Instrumented compilation of the in-force policy: rewrite trace,
+    both lowerings, and — unless [~with_doc:false] — per-scope node
+    counts and the native answer size on the live document. *)
+
 val backend : t -> backend_kind -> Backend.t
 val document : t -> Xmlac_xml.Tree.t
 (** The native store's live document. *)

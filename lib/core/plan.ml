@@ -1,0 +1,356 @@
+module Tree = Xmlac_xml.Tree
+module Sg = Xmlac_xml.Schema_graph
+module Xp = Xmlac_xpath
+module Sql = Xmlac_reldb.Sql
+module Translate = Xmlac_shrex.Translate
+module Timing = Xmlac_util.Timing
+module Ids = Set.Make (Int)
+
+type node =
+  | Empty
+  | Scope of Xp.Ast.expr
+  | Union of node list
+  | Except of node * node
+  | Intersect of node * node
+  | Restrict of Ids.t * node
+
+type t = { query : node; mark : Rule.effect; default : Rule.effect }
+
+(* --- construction ------------------------------------------------- *)
+
+let scope_union rules =
+  Union (List.map (fun (r : Rule.t) -> Scope r.Rule.resource) rules)
+
+(* Figure 5: the nodes to flip to the non-default sign. *)
+let of_policy policy =
+  let grants = scope_union (Policy.positive policy) in
+  let denies = scope_union (Policy.negative policy) in
+  let ds = Policy.ds policy in
+  let query =
+    match (ds, Policy.cr policy) with
+    | Rule.Minus, Rule.Minus -> Except (grants, denies)
+    | Rule.Minus, Rule.Plus -> grants
+    | Rule.Plus, Rule.Minus -> denies
+    | Rule.Plus, Rule.Plus -> Except (denies, grants)
+  in
+  { query; mark = Rule.opposite ds; default = ds }
+
+let of_rules policy rules = of_policy (Policy.with_rules policy rules)
+
+let restrict ids t = { t with query = Restrict (ids, t.query) }
+
+(* --- inspection --------------------------------------------------- *)
+
+let rec size_node = function
+  | Empty | Scope _ -> 1
+  | Union ps -> List.fold_left (fun n p -> n + size_node p) 1 ps
+  | Except (a, b) | Intersect (a, b) -> 1 + size_node a + size_node b
+  | Restrict (_, p) -> 1 + size_node p
+
+let size t = size_node t.query
+
+let scopes t =
+  let rec go acc = function
+    | Empty -> acc
+    | Scope e -> e :: acc
+    | Union ps -> List.fold_left go acc ps
+    | Except (a, b) | Intersect (a, b) -> go (go acc a) b
+    | Restrict (_, p) -> go acc p
+  in
+  List.rev (go [] t.query)
+
+let rec equal_node a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Scope p, Scope q -> Xp.Ast.equal_expr p q
+  | Union ps, Union qs ->
+      List.length ps = List.length qs && List.for_all2 equal_node ps qs
+  | Except (a1, b1), Except (a2, b2) | Intersect (a1, b1), Intersect (a2, b2)
+    ->
+      equal_node a1 a2 && equal_node b1 b2
+  | Restrict (s1, p1), Restrict (s2, p2) -> Ids.equal s1 s2 && equal_node p1 p2
+  | _ -> false
+
+(* --- rewriting ---------------------------------------------------- *)
+
+type pass_stat = { pass : string; before : int; after : int }
+
+let rec simplify = function
+  | (Empty | Scope _) as p -> p
+  | Union ps -> (
+      let ps =
+        List.concat_map
+          (fun p ->
+            match simplify p with Empty -> [] | Union qs -> qs | q -> [ q ])
+          ps
+      in
+      match ps with [] -> Empty | [ p ] -> p | ps -> Union ps)
+  | Except (a, b) -> (
+      match (simplify a, simplify b) with
+      | Empty, _ -> Empty
+      | a, Empty -> a
+      | a, b -> Except (a, b))
+  | Intersect (a, b) -> (
+      match (simplify a, simplify b) with
+      | Empty, _ | _, Empty -> Empty
+      | a, b -> Intersect (a, b))
+  | Restrict (s, p) -> (
+      if Ids.is_empty s then Empty
+      else
+        match simplify p with
+        | Empty -> Empty
+        | Restrict (s', p') -> Restrict (Ids.inter s s', p')
+        | p -> Restrict (s, p))
+
+(* Within one union front, [Scope p] is absorbed when some sibling
+   [Scope q] contains it; ties between equivalent scopes keep the
+   leftmost.  Only scope members participate — compound members are
+   recursed into but never compared. *)
+let absorb ?schema query =
+  let contained p q =
+    match schema with
+    | None -> Xp.Containment.contained_in p q
+    | Some sg -> Xp.Containment.contained_in_schema sg p q
+  in
+  let absorb_front ps =
+    let arr = Array.of_list ps in
+    let n = Array.length arr in
+    let expr_of = function Scope e -> Some e | _ -> None in
+    let absorbed i p =
+      let rec any j =
+        j < n
+        && ((j <> i
+            &&
+            match expr_of arr.(j) with
+            | None -> false
+            | Some q -> contained p q && (j < i || not (contained q p)))
+           || any (j + 1))
+      in
+      any 0
+    in
+    List.filteri
+      (fun i member ->
+        match expr_of member with
+        | None -> true
+        | Some p -> not (absorbed i p))
+      ps
+  in
+  let rec go = function
+    | (Empty | Scope _) as p -> p
+    | Union ps -> Union (absorb_front (List.map go ps))
+    | Except (a, b) -> Except (go a, go b)
+    | Intersect (a, b) -> Intersect (go a, go b)
+    | Restrict (s, p) -> Restrict (s, go p)
+  in
+  go query
+
+let prune sg query =
+  let rec go = function
+    | Scope e when not (Xp.Schema_match.satisfiable sg e) -> Empty
+    | (Empty | Scope _) as p -> p
+    | Union ps -> Union (List.map go ps)
+    | Except (a, b) -> Except (go a, go b)
+    | Intersect (a, b) -> Intersect (go a, go b)
+    | Restrict (s, p) -> Restrict (s, go p)
+  in
+  go query
+
+let passes ?schema () =
+  [ ("flatten", simplify) ]
+  @ (match schema with
+    | None -> []
+    | Some sg -> [ ("prune-unsat", prune sg) ])
+  @ [ ("absorb", fun q -> absorb ?schema q); ("simplify", simplify) ]
+
+let rewrite_trace ?schema t =
+  let query, rev_trace =
+    List.fold_left
+      (fun (q, trace) (pass, f) ->
+        let q' = f q in
+        ((q' : node), { pass; before = size_node q; after = size_node q' } :: trace))
+      (t.query, []) (passes ?schema ())
+  in
+  ({ t with query }, List.rev rev_trace)
+
+let rewrite ?schema t = fst (rewrite_trace ?schema t)
+
+(* --- native lowering ---------------------------------------------- *)
+
+let ids_of_table tbl = Hashtbl.fold (fun id () s -> Ids.add id s) tbl Ids.empty
+
+let rec eval_node doc = function
+  | Empty -> Ids.empty
+  | Scope e -> ids_of_table (Xp.Eval.node_set doc e)
+  | Union ps ->
+      List.fold_left (fun acc p -> Ids.union acc (eval_node doc p)) Ids.empty ps
+  | Except (a, b) -> Ids.diff (eval_node doc a) (eval_node doc b)
+  | Intersect (a, b) -> Ids.inter (eval_node doc a) (eval_node doc b)
+  | Restrict (s, p) -> Ids.inter s (eval_node doc p)
+
+let eval_native doc t = eval_node doc t.query
+let native_ids doc t = Ids.elements (eval_native doc t)
+
+(* --- relational lowering ------------------------------------------ *)
+
+let split_restriction t =
+  let rec go acc = function
+    | Restrict (s, p) ->
+        go (Some (match acc with None -> s | Some a -> Ids.inter a s)) p
+    | p -> (acc, p)
+  in
+  let restriction, query = go None t.query in
+  (restriction, { t with query })
+
+let to_sql mapping t =
+  let rec go = function
+    | Empty -> Translate.empty mapping
+    | Scope e -> Translate.translate mapping e
+    | Union ps -> (
+        (* Every scope itself lowers to a union of ShreX branches;
+           flattening the whole front before balancing gives one
+           balanced n-ary union over all branches. *)
+        match
+          Sql.balanced_union
+            (List.concat_map (fun p -> Sql.flatten_union (go p)) ps)
+        with
+        | None -> Translate.empty mapping
+        | Some q -> q)
+    | Except (a, b) -> Sql.Except (go a, go b)
+    | Intersect (a, b) -> Sql.Intersect (go a, go b)
+    | Restrict _ ->
+        invalid_arg "Plan.to_sql: Restrict has no relational form"
+  in
+  go t.query
+
+(* --- xquery lowering ---------------------------------------------- *)
+
+let rec xq_node ~on_restrict = function
+  | Empty | Union [] -> "()"
+  | Scope e -> Xp.Pp.expr_to_string e
+  | Union ps -> String.concat " union " (List.map (xq_atom ~on_restrict) ps)
+  | Except (a, b) ->
+      xq_atom ~on_restrict a ^ " except " ^ xq_atom ~on_restrict b
+  | Intersect (a, b) ->
+      xq_atom ~on_restrict a ^ " intersect " ^ xq_atom ~on_restrict b
+  | Restrict (s, p) -> on_restrict s p
+
+and xq_atom ~on_restrict p =
+  match p with
+  | Empty | Scope _ | Union [] | Restrict _ -> xq_node ~on_restrict p
+  | Union _ | Except _ | Intersect _ -> "(" ^ xq_node ~on_restrict p ^ ")"
+
+let to_xquery ~doc_name t =
+  let body =
+    xq_node
+      ~on_restrict:(fun _ _ ->
+        invalid_arg "Plan.to_xquery: Restrict has no XQuery form")
+      t.query
+  in
+  Printf.sprintf "for $n in doc(\"%s\")(%s)\nreturn xmlac:annotate($n, \"%s\")"
+    doc_name body
+    (Rule.effect_to_string t.mark)
+
+(* --- printing ----------------------------------------------------- *)
+
+let node_to_string =
+  xq_node ~on_restrict:(fun s p ->
+      Printf.sprintf "restrict{%d}(%s)" (Ids.cardinal s)
+        (xq_node
+           ~on_restrict:(fun _ _ -> assert false (* fused by simplify *))
+           p))
+
+let pp_node ppf n = Format.pp_print_string ppf (node_to_string n)
+
+let pp ppf t =
+  Format.fprintf ppf "mark %s: %s"
+    (Rule.effect_to_string t.mark)
+    (node_to_string t.query)
+
+(* --- explain ------------------------------------------------------ *)
+
+type explain = {
+  raw : t;
+  rewritten : t;
+  trace : pass_stat list;
+  xquery : string;
+  sql : Sql.query option;
+  scope_counts : (string * int) list;
+  answer_size : int option;
+  timings : (string * float) list;
+}
+
+let explain ?schema ?mapping ?doc ?(doc_name = "doc") t =
+  let (rewritten, trace), rewrite_s =
+    Timing.time (fun () -> rewrite_trace ?schema t)
+  in
+  let _, core = split_restriction rewritten in
+  let xquery, xquery_s = Timing.time (fun () -> to_xquery ~doc_name core) in
+  let sql, sql_timing =
+    match mapping with
+    | None -> (None, [])
+    | Some m ->
+        let q, s = Timing.time (fun () -> to_sql m core) in
+        (Some q, [ ("lower:sql", s) ])
+  in
+  let scope_counts, answer_size, native_timing =
+    match doc with
+    | None -> ([], None, [])
+    | Some d ->
+        let counts =
+          List.map
+            (fun e ->
+              (Xp.Pp.expr_to_string e, Hashtbl.length (Xp.Eval.node_set d e)))
+            (scopes rewritten)
+        in
+        let answer, s = Timing.time (fun () -> eval_native d rewritten) in
+        (counts, Some (Ids.cardinal answer), [ ("eval:native", s) ])
+  in
+  {
+    raw = t;
+    rewritten;
+    trace;
+    xquery;
+    sql;
+    scope_counts;
+    answer_size;
+    timings =
+      (("rewrite", rewrite_s) :: ("lower:xquery", xquery_s) :: sql_timing)
+      @ native_timing;
+  }
+
+let pp_explain ppf e =
+  Format.fprintf ppf "@[<v>plan (raw, %d nodes):@;<1 2>%a@," (size e.raw) pp
+    e.raw;
+  Format.fprintf ppf "rewrite passes:@,";
+  List.iter
+    (fun { pass; before; after } ->
+      Format.fprintf ppf "  %-12s %d -> %d%s@," pass before after
+        (if after < before then "  (shrunk)" else ""))
+    e.trace;
+  Format.fprintf ppf "plan (rewritten, %d nodes):@;<1 2>%a@," (size e.rewritten)
+    pp e.rewritten;
+  Format.fprintf ppf "xquery lowering:@;<1 2>%s@,"
+    (String.concat " " (String.split_on_char '\n' e.xquery));
+  (match e.sql with
+  | None -> ()
+  | Some q ->
+      Format.fprintf ppf
+        "sql lowering (%d query nodes, union depth %d):@;<1 2>%s@," (Sql.size q)
+        (Sql.depth q) (Sql.query_to_string q));
+  (match e.scope_counts with
+  | [] -> ()
+  | counts ->
+      Format.fprintf ppf "per-scope node counts:@,";
+      List.iter
+        (fun (expr, n) -> Format.fprintf ppf "  %-40s %d@," expr n)
+        counts);
+  (match e.answer_size with
+  | None -> ()
+  | Some n -> Format.fprintf ppf "answer: %d node(s) to mark %s@," n
+        (Rule.effect_to_string e.rewritten.mark));
+  Format.fprintf ppf "timings:@,";
+  List.iter
+    (fun (stage, s) ->
+      Format.fprintf ppf "  %-14s %a@," stage Timing.pp_seconds s)
+    e.timings;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,174 @@
+(** The annotation-plan intermediate representation.
+
+    Annotation-Queries (Section 5.2, Figure 5) compiles a policy into
+    one set-algebraic query over the scopes of its rules, and partial
+    re-annotation (Section 5.3) runs the same query restricted to the
+    triggered rules and the affected region.  This module makes that
+    query a first-class object — built once from either entry point,
+    rewritten by analysis passes, and lowered to each store's own
+    algebra — instead of a flat record every layer re-interprets by
+    hand.
+
+    The pipeline is
+
+    {v policy / triggered rules
+        |  of_policy / of_rules (+ restrict)
+        v
+      plan IR  --rewrite-->  smaller plan IR
+        |
+        +-- native_ids   (id-set algebra over the XML tree)
+        +-- to_sql       (ShreX translation, balanced n-ary unions)
+        +-- to_xquery    (executable FLWOR text for Xmldb.Xquery) v}
+
+    Rewrites only ever shrink the query ({e fewer} scopes to evaluate,
+    {e smaller} lowered artifacts) and preserve its answer: scope
+    absorption relies on {!Xmlac_xpath.Containment} (instance-sound;
+    with a schema, sound for documents whose node label paths the DTD
+    realizes), unsatisfiable-scope pruning on
+    {!Xmlac_xpath.Schema_match.satisfiable} (same proviso), and union
+    flattening / empty elimination are identities of the set
+    algebra. *)
+
+module Ids : Set.S with type elt = int
+(** Universal node-id sets — the common currency of the three
+    lowerings. *)
+
+(** {1 The IR} *)
+
+type node =
+  | Empty  (** The empty node set. *)
+  | Scope of Xmlac_xpath.Ast.expr  (** One rule's scope [\[\[e\]\]]. *)
+  | Union of node list  (** N-ary union; [Union \[\]] = [Empty]. *)
+  | Except of node * node
+  | Intersect of node * node
+  | Restrict of Ids.t * node
+      (** Intersection with a materialized id set — the reannotator's
+          affected region.  Only the native lowering can evaluate it
+          in-store; relational and XQuery consumers peel it off with
+          {!split_restriction} and apply it as a semijoin on the
+          answer. *)
+
+type t = {
+  query : node;
+  mark : Rule.effect;  (** The sign stamped on the query's answer. *)
+  default : Rule.effect;  (** The policy's [ds]; always [opposite mark]. *)
+}
+
+(** {1 Construction} *)
+
+val of_policy : Policy.t -> t
+(** Figure 5: [grants EXCEPT denies] marked ["+"] for deny/deny,
+    [grants] for deny/allow, [denies] marked ["-"] for allow/deny,
+    [denies EXCEPT grants] for allow/allow. *)
+
+val of_rules : Policy.t -> Rule.t list -> t
+(** The restricted compilation of Section 5.3: same [ds]/[cr], only
+    the given (triggered) rules.  [of_rules p (Policy.rules p)] is
+    [of_policy p]. *)
+
+val restrict : Ids.t -> t -> t
+(** Wraps the query in a {!node.Restrict} on the given id set. *)
+
+(** {1 Inspection} *)
+
+val size : t -> int
+(** Number of IR nodes. *)
+
+val scopes : t -> Xmlac_xpath.Ast.expr list
+(** Every [Scope] expression, left to right. *)
+
+val equal_node : node -> node -> bool
+
+(** {1 Rewriting} *)
+
+type pass_stat = { pass : string; before : int; after : int }
+(** IR node counts around one pass. *)
+
+val simplify : node -> node
+(** Union flattening into n-ary form, empty elimination
+    ([Union \[\] = Empty], [Except (Empty, _) = Empty],
+    [Except (p, Empty) = p], [Intersect] with [Empty] = [Empty]),
+    singleton-union unwrapping, and fusion of nested restrictions. *)
+
+val absorb : ?schema:Xmlac_xml.Schema_graph.t -> node -> node
+(** Containment-based scope absorption: inside every union, a scope
+    contained in a sibling scope is dropped (the rewriting analogue of
+    Redundancy-Elimination, applied to the compiled query rather than
+    the policy — it also absorbs across rules the optimizer must keep,
+    e.g. the primary union of an allow/allow policy contains the
+    denies regardless of effect).  With [schema], containment is
+    decided relative to the DTD, which absorbs strictly more. *)
+
+val prune : Xmlac_xml.Schema_graph.t -> node -> node
+(** Replaces scopes unsatisfiable under the schema
+    ({!Xmlac_xpath.Schema_match.satisfiable}) with [Empty]. *)
+
+val rewrite : ?schema:Xmlac_xml.Schema_graph.t -> t -> t
+(** The full pipeline: simplify; prune (when [schema] is given);
+    absorb; simplify. *)
+
+val rewrite_trace : ?schema:Xmlac_xml.Schema_graph.t -> t -> t * pass_stat list
+(** {!rewrite} with per-pass before/after sizes. *)
+
+(** {1 Lowerings} *)
+
+val eval_native : Xmlac_xml.Tree.t -> t -> Ids.t
+(** Direct evaluation over the native store: each scope materializes
+    its id set through {!Xmlac_xpath.Eval.node_set} and the set
+    algebra runs on those — no document scan. *)
+
+val native_ids : Xmlac_xml.Tree.t -> t -> int list
+(** {!eval_native} as an ascending list. *)
+
+val split_restriction : t -> Ids.t option * t
+(** Peels top-level restrictions off the query (intersecting nested
+    ones); the remaining plan is [Restrict]-free at the root and
+    lowerable to SQL/XQuery, with the returned set to be applied to
+    the answer. *)
+
+val to_sql : Xmlac_shrex.Mapping.t -> t -> Xmlac_reldb.Sql.query
+(** ShreX-translated scopes combined with balanced n-ary UNIONs (the
+    translation's own branches are flattened into the same front) and
+    EXCEPT / INTERSECT.  [Empty] lowers to
+    {!Xmlac_shrex.Translate.empty}.
+    @raise Invalid_argument on a remaining [Restrict] — call
+    {!split_restriction} first. *)
+
+val to_xquery : doc_name:string -> t -> string
+(** Executable FLWOR text for the {!Xmlac_xmldb.Xquery} fragment:
+    [for $n in doc("...")(...) return xmlac:annotate($n, mark)], with
+    [()] for [Empty] so every plan round-trips through the parser.
+    @raise Invalid_argument on a remaining [Restrict]. *)
+
+(** {1 Explain} *)
+
+type explain = {
+  raw : t;
+  rewritten : t;
+  trace : pass_stat list;
+  xquery : string;  (** Lowered FLWOR text (restriction peeled). *)
+  sql : Xmlac_reldb.Sql.query option;  (** When a mapping is supplied. *)
+  scope_counts : (string * int) list;
+      (** Per-scope node counts of the rewritten plan, when a document
+          is supplied. *)
+  answer_size : int option;  (** Native answer size on that document. *)
+  timings : (string * float) list;
+      (** Seconds per stage: rewrite, each lowering, native
+          evaluation. *)
+}
+
+val explain :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  ?mapping:Xmlac_shrex.Mapping.t ->
+  ?doc:Xmlac_xml.Tree.t ->
+  ?doc_name:string ->
+  t ->
+  explain
+(** Rewrites the plan and instruments every stage; [doc_name] (default
+    ["doc"]) only affects the generated XQuery text. *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit
+(** ["mark +: (//a union //b) except (//c)"]. *)
+
+val pp_explain : Format.formatter -> explain -> unit

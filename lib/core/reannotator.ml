@@ -1,5 +1,3 @@
-module Tree = Xmlac_xml.Tree
-
 type stats = {
   triggered : int list;
   affected : int;
@@ -7,22 +5,17 @@ type stats = {
   marked : int;
 }
 
-(* Per-rule scopes as id sets; the same evaluation feeds both the
-   affected-region computation and the restricted annotation query, so
-   each triggered rule is evaluated exactly once per document state
-   (once before the update, once after). *)
-let scopes (backend : Backend.t) rules =
-  List.map
-    (fun (r : Rule.t) ->
-      let set = Hashtbl.create 64 in
-      List.iter
-        (fun id -> Hashtbl.replace set id ())
-        (backend.Backend.eval_ids r.Rule.resource);
-      (r, set))
-    rules
-
-let union_into acc sets =
-  List.iter (fun (_, set) -> Hashtbl.iter (fun id () -> Hashtbl.replace acc id ()) set) sets
+(* Union of the rules' scope id sets, evaluated through the backend —
+   this feeds the affected-region computation before and after the
+   update. *)
+let scope_union (backend : Backend.t) rules =
+  List.fold_left
+    (fun acc (r : Rule.t) ->
+      List.fold_left
+        (fun acc id -> Plan.Ids.add id acc)
+        acc
+        (backend.Backend.eval_ids r.Rule.resource))
+    Plan.Ids.empty rules
 
 (* The generic repair cycle: [touched] locates the nodes the mutation
    inserts or deletes (the update expression of Section 5.3), [apply]
@@ -32,56 +25,42 @@ let repair ?schema (backend : Backend.t) depend ~touched ~apply =
   let trig = Trigger.run_all ?schema depend ~updates:touched in
   let rules = Trigger.triggered_rules depend trig in
   (* Scopes before the update: nodes that may fall out of scope. *)
-  let pre = scopes backend rules in
+  let pre = scope_union backend rules in
   let deleted_roots = apply () in
-  (* Scopes after: nodes that may have entered scope; these also feed
-     the restricted annotation query below. *)
-  let post = scopes backend rules in
-  let affected = Hashtbl.create 256 in
-  union_into affected pre;
-  union_into affected post;
-  (* The restricted Annotation-Queries result, combined in set algebra
-     over the post-update scopes: primary-union minus secondary-union
-     with the signs of Figure 5. *)
-  let aq = Annotation_query.build (Policy.with_rules policy rules) in
-  let in_union rules_wanted id =
-    List.exists
-      (fun ((r : Rule.t), set) ->
-        Hashtbl.mem set id
-        && List.exists (fun e -> Xmlac_xpath.Ast.equal_expr e r.Rule.resource)
-             rules_wanted)
-      post
+  (* Scopes after: nodes that may have entered scope. *)
+  let post = scope_union backend rules in
+  (* Pre-update scopes may reference deleted nodes; restrict the
+     affected region to the nodes still stored. *)
+  let live =
+    Plan.Ids.filter backend.Backend.has_node (Plan.Ids.union pre post)
   in
-  let primary = aq.Annotation_query.primary in
-  let secondary = aq.Annotation_query.secondary in
-  let in_answer id = in_union primary id && not (in_union secondary id) in
+  (* The restricted Annotation-Queries plan of Section 5.3: the
+     triggered rules' compilation, rewritten, intersected with the
+     affected region, evaluated in the backend's own algebra. *)
+  let plan =
+    Plan.restrict live (Plan.rewrite ?schema (Plan.of_rules policy rules))
+  in
+  let answer = Plan.Ids.of_list (backend.Backend.eval_plan plan) in
   (* Partition the surviving affected region into nodes to mark with
-     the non-default sign and nodes to reset to the default. *)
-  let default = Policy.ds policy in
-  let mark_sign = aq.Annotation_query.mark in
-  let to_mark = ref [] and to_default = ref [] and live_affected = ref 0 in
-  Hashtbl.iter
-    (fun id () ->
-      (* Pre-update scopes may reference deleted nodes; skip them.
-         Also skip nodes whose sign is already right: the point of
-         re-annotation is to touch only "the nodes whose access
-         permission changed due to the update". *)
-      if backend.Backend.has_node id then begin
-        incr live_affected;
-        let current = Backend.effective_sign backend ~default id in
-        if in_answer id then begin
-          if current <> mark_sign then to_mark := id :: !to_mark
-        end
-        else if current <> default then to_default := id :: !to_default
-      end)
-    affected;
+     the non-default sign and nodes to reset to the default, touching
+     only "the nodes whose access permission changed due to the
+     update". *)
+  let default = plan.Plan.default in
+  let mark_sign = plan.Plan.mark in
+  let to_mark = ref [] and to_default = ref [] in
+  Plan.Ids.iter
+    (fun id ->
+      let current = Backend.effective_sign backend ~default id in
+      if Plan.Ids.mem id answer then begin
+        if current <> mark_sign then to_mark := id :: !to_mark
+      end
+      else if current <> default then to_default := id :: !to_default)
+    live;
   let _ = backend.Backend.set_sign_ids (List.rev !to_default) default in
-  let marked =
-    backend.Backend.set_sign_ids (List.rev !to_mark) aq.Annotation_query.mark
-  in
+  let marked = backend.Backend.set_sign_ids (List.rev !to_mark) mark_sign in
   {
     triggered = Trigger.all trig;
-    affected = !live_affected;
+    affected = Plan.Ids.cardinal live;
     deleted_roots;
     marked;
   }

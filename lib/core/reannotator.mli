@@ -3,11 +3,12 @@
     The full pipeline: run {!Trigger} to find the rules whose scopes
     the update may change; take the union of those rules' scopes both
     {e before} and {e after} applying the update (before: nodes that
-    may fall out of scope; after: nodes that may enter it); reset the
-    surviving affected nodes to the default sign; rebuild the
-    annotation query {e restricted to the triggered rules}
-    (Annotation-Queries over the triggered subset, per the paper) and
-    stamp its answer intersected with the affected set.
+    may fall out of scope; after: nodes that may enter it); rebuild the
+    annotation plan {e restricted to the triggered rules}
+    ({!Plan.of_rules}, rewritten, wrapped in a {!Plan.restrict} on the
+    surviving affected region) and evaluate it through the backend;
+    then touch only the affected nodes whose effective sign disagrees
+    with the plan's verdict.
 
     Every other node keeps its annotation untouched — that asymmetry is
     where the speedup over full annotation comes from.  With an

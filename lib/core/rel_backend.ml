@@ -45,8 +45,16 @@ let make mapping db : Backend.t =
   {
     Backend.name = Table.engine_to_string engine ^ "-sql";
     eval_ids = (fun e -> Translate.eval_ids mapping db e);
-    eval_annotation_query =
-      (fun q -> Executor.query_ids db (Annotation_query.to_sql mapping q));
+    eval_plan =
+      (fun p ->
+        (* The relational algebra has no literal id-set operand, so a
+           Restrict becomes a semijoin on the answer of the residual
+           query. *)
+        let restriction, core = Plan.split_restriction p in
+        let ids = Executor.query_ids db (Plan.to_sql mapping core) in
+        match restriction with
+        | None -> ids
+        | Some s -> List.filter (fun id -> Plan.Ids.mem id s) ids);
     set_sign_ids = (fun ids sign -> set_sign_ids mapping db ids sign);
     reset_signs =
       (fun ~default ->

@@ -9,11 +9,7 @@ let make doc : Backend.t =
   {
     Backend.name = "xquery";
     eval_ids;
-    eval_annotation_query =
-      (fun q ->
-        List.map
-          (fun (n : Tree.node) -> n.Tree.id)
-          (Annotation_query.eval_native doc q));
+    eval_plan = (fun p -> Plan.native_ids doc p);
     set_sign_ids =
       (fun ids sign ->
         List.fold_left

@@ -100,3 +100,38 @@ let rec select_tables = function
   | Select s -> List.map (fun r -> r.table) s.from
   | Union (a, b) | Except (a, b) | Intersect (a, b) ->
       List.sort_uniq String.compare (select_tables a @ select_tables b)
+
+(* N-ary unions.  The Annotation-Queries compilation and the ShreX
+   translation both produce unions of many branches; a left-leaning
+   fold hands the executor a degenerate depth-n operator tree.  A
+   balanced tree keeps the set-operation recursion logarithmic in the
+   branch count. *)
+let rec balanced_union = function
+  | [] -> None
+  | [ q ] -> Some q
+  | qs ->
+      let rec split i acc rest =
+        if i = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: rest -> split (i - 1) (x :: acc) rest
+      in
+      let left, right = split (List.length qs / 2) [] qs in
+      (match (balanced_union left, balanced_union right) with
+      | Some a, Some b -> Some (Union (a, b))
+      | (Some _ as q), None | None, (Some _ as q) -> q
+      | None, None -> None)
+
+let rec flatten_union = function
+  | Union (a, b) -> flatten_union a @ flatten_union b
+  | q -> [ q ]
+
+let rec size = function
+  | Select _ -> 1
+  | Union (a, b) | Except (a, b) | Intersect (a, b) -> 1 + size a + size b
+
+let rec depth = function
+  | Select _ -> 1
+  | Union (a, b) | Except (a, b) | Intersect (a, b) ->
+      1 + max (depth a) (depth b)

@@ -46,3 +46,21 @@ val pp_stmt : Format.formatter -> stmt -> unit
 
 val select_tables : query -> string list
 (** All table names referenced anywhere in the query. *)
+
+val balanced_union : query list -> query option
+(** Combines the queries with UNION into a balanced binary tree
+    ([None] on the empty list).  This is the n-ary union constructor
+    used by the ShreX translation and the annotation-plan lowering:
+    recursion depth stays logarithmic in the branch count instead of
+    linear as with a left-leaning fold. *)
+
+val flatten_union : query -> query list
+(** The maximal run of top-level UNION operands, left to right;
+    [[q]] when [q] is not a union. *)
+
+val size : query -> int
+(** Number of query-algebra nodes (SELECTs plus set operations) — the
+    static cost measure reported by the plan-rewrite ablation. *)
+
+val depth : query -> int
+(** Height of the set-operation tree (1 for a bare SELECT). *)

@@ -190,9 +190,11 @@ let translate mapping (e : expr) =
           { proj = [ Sql.col b.cur_alias "id" ]; from = b.from; where = b.where })
       branches
   in
-  match selects with
-  | [] -> empty_query mapping
-  | first :: rest -> List.fold_left (fun acc s -> Sql.Union (acc, s)) first rest
+  match Sql.balanced_union selects with
+  | None -> empty_query mapping
+  | Some q -> q
+
+let empty = empty_query
 
 let translate_string mapping s =
   translate mapping (Xmlac_xpath.Parser.parse_exn s)

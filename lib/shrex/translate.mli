@@ -22,6 +22,13 @@
     equivalence tests check. *)
 
 val translate : Mapping.t -> Xmlac_xpath.Ast.expr -> Xmlac_reldb.Sql.query
+(** Branches are combined with {!Xmlac_reldb.Sql.balanced_union}, so
+    the union tree's depth is logarithmic in the branch count. *)
+
+val empty : Mapping.t -> Xmlac_reldb.Sql.query
+(** A syntactically valid query with an empty answer on every database
+    of the mapping's schema — the relational bottom the annotation
+    plan's [Empty] node lowers to. *)
 
 val translate_string : Mapping.t -> string -> Xmlac_reldb.Sql.query
 (** Convenience: parse then translate.

@@ -12,8 +12,11 @@ type outcome =
   | Nodes of Tree.node list
   | Annotated of int
 
-(* Set expressions over node sets, with XPath leaves. *)
+(* Set expressions over node sets, with XPath leaves.  [Empty] is the
+   XQuery empty sequence [()], which the generated annotation queries
+   use for the union over zero rule scopes. *)
 type setexpr =
+  | Empty
   | Path of Xp.Ast.expr
   | Union of setexpr * setexpr
   | Except of setexpr * setexpr
@@ -109,9 +112,17 @@ and parse_atom st =
   skip_ws st;
   if peek st = '(' then begin
     st.pos <- st.pos + 1;
-    let e = parse_setexpr st in
-    expect st ")";
-    e
+    skip_ws st;
+    if peek st = ')' then begin
+      (* The empty sequence [()]. *)
+      st.pos <- st.pos + 1;
+      Empty
+    end
+    else begin
+      let e = parse_setexpr st in
+      expect st ")";
+      e
+    end
   end
   else Path (parse_xpath_atom st)
 
@@ -136,6 +147,7 @@ let parse_source st =
 (* Evaluation: node sets as id-keyed tables plus document order from a
    final filter pass. *)
 let rec eval_set doc = function
+  | Empty -> Hashtbl.create 1
   | Path e ->
       let set = Hashtbl.create 64 in
       List.iter

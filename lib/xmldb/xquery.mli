@@ -18,8 +18,12 @@
                 | '$'name
       source  ::= 'doc(' '"' docname '"' ')' '(' setexpr ')'
       setexpr ::= atom (('union' | 'except' | 'intersect') atom)*
-      atom    ::= absolute-XPath | '(' setexpr ')'
+      atom    ::= absolute-XPath | '(' setexpr ')' | '()'
     ]}
+
+    [()] is the empty sequence — the union over zero rule scopes that
+    degenerate policies compile to (e.g. a rule-less policy), so every
+    generated annotation query round-trips through this parser.
 
     Set operators associate left with equal precedence (parenthesize,
     as the generated queries do).  This is what lets the output of

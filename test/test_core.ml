@@ -233,6 +233,205 @@ let test_annotation_query_sql_runs () =
     (Xmlac_reldb.Executor.query_ids db sql)
 
 (* ------------------------------------------------------------------ *)
+(* The plan IR: construction, rewrites, lowerings *)
+
+let test_plan_of_policy_shapes () =
+  let check ds cr expect_mark expect_shape =
+    let plan = Plan.of_policy (mk_policy ds cr) in
+    Alcotest.(check bool) "mark" true (plan.Plan.mark = expect_mark);
+    Alcotest.(check bool) "default" true (plan.Plan.default = ds);
+    Alcotest.(check bool) "shape" true
+      (match (plan.Plan.query, expect_shape) with
+      | Plan.Except _, `Except -> true
+      | Plan.Union _, `Union -> true
+      | _ -> false)
+  in
+  check Rule.Minus Rule.Minus Rule.Plus `Except;
+  check Rule.Minus Rule.Plus Rule.Plus `Union;
+  check Rule.Plus Rule.Minus Rule.Minus `Union;
+  check Rule.Plus Rule.Plus Rule.Minus `Except
+
+let test_plan_simplify () =
+  let a = Plan.Scope (parse "//a") and b = Plan.Scope (parse "//b") in
+  (* Nested unions flatten, empties vanish, singletons unwrap. *)
+  Alcotest.(check bool) "flatten" true
+    (Plan.equal_node
+       (Plan.Union [ a; b ])
+       (Plan.simplify (Plan.Union [ Plan.Union [ a ]; Plan.Empty; b ])));
+  Alcotest.(check bool) "empty union" true
+    (Plan.simplify (Plan.Union []) = Plan.Empty);
+  Alcotest.(check bool) "except empty rhs" true
+    (Plan.equal_node a (Plan.simplify (Plan.Except (a, Plan.Union []))));
+  Alcotest.(check bool) "except empty lhs" true
+    (Plan.simplify (Plan.Except (Plan.Empty, a)) = Plan.Empty);
+  Alcotest.(check bool) "intersect empty" true
+    (Plan.simplify (Plan.Intersect (a, Plan.Empty)) = Plan.Empty);
+  (* Nested restrictions fuse by intersection. *)
+  let s12 = Plan.Ids.of_list [ 1; 2 ] and s23 = Plan.Ids.of_list [ 2; 3 ] in
+  Alcotest.(check bool) "restrict fusion" true
+    (Plan.equal_node
+       (Plan.Restrict (Plan.Ids.singleton 2, a))
+       (Plan.simplify (Plan.Restrict (s12, Plan.Restrict (s23, a)))))
+
+let test_plan_absorb () =
+  let narrow = Plan.Scope (parse "//patient[treatment]") in
+  let broad = Plan.Scope (parse "//patient") in
+  (* Instance containment: the narrow scope disappears into the broad
+     sibling, in either order. *)
+  Alcotest.(check bool) "narrow absorbed" true
+    (Plan.equal_node (Plan.Union [ broad ])
+       (Plan.absorb (Plan.Union [ narrow; broad ])));
+  Alcotest.(check bool) "order irrelevant" true
+    (Plan.equal_node (Plan.Union [ broad ])
+       (Plan.absorb (Plan.Union [ broad; narrow ])));
+  (* Without a schema only //patient/name ⊆ //patient//name is
+     provable, so the broader descendant form survives; under the
+     hospital DTD the two are equivalent and the leftmost wins. *)
+  let q =
+    Plan.Union [ Plan.Scope (parse "//patient/name");
+                 Plan.Scope (parse "//patient//name") ]
+  in
+  Alcotest.(check bool) "broader survives without schema" true
+    (Plan.equal_node
+       (Plan.Union [ Plan.Scope (parse "//patient//name") ])
+       (Plan.absorb q));
+  Alcotest.(check bool) "leftmost of schema-equivalent pair survives" true
+    (Plan.equal_node
+       (Plan.Union [ Plan.Scope (parse "//patient/name") ])
+       (Plan.absorb ~schema:hospital_sg q));
+  (* Absorption never crosses an Except: the secondary side keeps its
+     own scopes. *)
+  let e = Plan.Except (Plan.Union [ broad ], Plan.Union [ narrow ]) in
+  Alcotest.(check bool) "except sides independent" true
+    (Plan.equal_node e (Plan.absorb e))
+
+let test_plan_prune_and_rewrite () =
+  let p =
+    Policy.make ~ds:Rule.Minus ~cr:Rule.Plus
+      [ rule "//patient/name" Rule.Plus;
+        rule "//doctor/bill" Rule.Plus (* unsatisfiable under the DTD *) ]
+  in
+  let plan = Plan.of_policy p in
+  let rewritten, trace = Plan.rewrite_trace ~schema:hospital_sg plan in
+  Alcotest.(check int) "one scope left" 1 (List.length (Plan.scopes rewritten));
+  Alcotest.(check bool) "trace shrinks" true
+    (Plan.size rewritten < Plan.size plan);
+  Alcotest.(check (list string)) "pass names"
+    [ "flatten"; "prune-unsat"; "absorb"; "simplify" ]
+    (List.map (fun (s : Plan.pass_stat) -> s.Plan.pass) trace);
+  (* The rewrite preserves the answer. *)
+  let doc = tiny_doc () in
+  Alcotest.(check (list int)) "same answer"
+    (Plan.native_ids doc plan)
+    (Plan.native_ids doc rewritten)
+
+let test_plan_restrict () =
+  let doc = tiny_doc () in
+  let plan = Plan.of_policy (mk_policy Rule.Minus Rule.Plus) in
+  let all = Plan.eval_native doc plan in
+  let some = Plan.Ids.of_list [ Plan.Ids.min_elt all ] in
+  let restricted = Plan.restrict some plan in
+  Alcotest.(check (list int)) "native restrict"
+    (Plan.Ids.elements some)
+    (Plan.native_ids doc restricted);
+  (* split_restriction peels (and fuses) the id sets off the query. *)
+  let peeled, core = Plan.split_restriction (Plan.restrict some restricted) in
+  Alcotest.(check bool) "peeled" true (peeled = Some some);
+  Alcotest.(check bool) "core restrict-free" true
+    (Plan.equal_node plan.Plan.query core.Plan.query);
+  (* SQL refuses an unpeeled restriction. *)
+  (try
+     ignore (Plan.to_sql mapping restricted);
+     Alcotest.fail "to_sql accepted a Restrict"
+   with Invalid_argument _ -> ());
+  (* The relational backends apply it as a semijoin. *)
+  List.iter
+    (fun (backend : Backend.t) ->
+      Alcotest.(check (list int))
+        (backend.Backend.name ^ " restricted answer")
+        (Plan.Ids.elements some)
+        (backend.Backend.eval_plan restricted))
+    (backends_for doc ~default_sign:"-")
+
+let test_plan_sql_balanced () =
+  (* Eight single-table scopes: the flattened union front has eight
+     branches and the balanced tree is logarithmic, not a spine. *)
+  let exprs =
+    [ "//patient"; "//name"; "//regular"; "//staff"; "//doctor"; "//nurse";
+      "//phone"; "//bill" ]
+  in
+  let plan =
+    { Plan.query = Plan.Union (List.map (fun s -> Plan.Scope (parse s)) exprs);
+      mark = Rule.Plus; default = Rule.Minus }
+  in
+  let sql = Plan.to_sql mapping plan in
+  let module Sql = Xmlac_reldb.Sql in
+  Alcotest.(check int) "eight branches" 8 (List.length (Sql.flatten_union sql));
+  Alcotest.(check int) "log-depth union" 4 (Sql.depth sql);
+  (* And the lowering is still the same query. *)
+  let doc = tiny_doc () in
+  let db = Db.create Table.Row in
+  ignore (Xmlac_shrex.Shred.load mapping ~default_sign:"-" db doc);
+  Alcotest.(check (list int)) "sql answer = native answer"
+    (Plan.native_ids doc plan)
+    (Xmlac_reldb.Executor.query_ids db sql)
+
+let test_engine_explain () =
+  let eng =
+    Engine.create ~dtd:W.Hospital.dtd ~policy:W.Hospital.policy (tiny_doc ())
+  in
+  let e = Engine.explain eng in
+  Alcotest.(check (list string)) "pass trace"
+    [ "flatten"; "prune-unsat"; "absorb"; "simplify" ]
+    (List.map (fun (s : Plan.pass_stat) -> s.Plan.pass) e.Plan.trace);
+  Alcotest.(check bool) "sql lowering present" true (e.Plan.sql <> None);
+  Alcotest.(check bool) "scopes counted" true (e.Plan.scope_counts <> []);
+  (* The annotation query marks the five accessible nodes of the paper
+     example. *)
+  Alcotest.(check (option int)) "answer size" (Some 5) e.Plan.answer_size;
+  (* The generated XQuery executes against the engine's document. *)
+  let store = Xmlac_xmldb.Store.create () in
+  Xmlac_xmldb.Store.add store ~name:"doc" (Tree.copy (Engine.document eng));
+  (match Xmlac_xmldb.Xquery.run store e.Plan.xquery with
+  | Ok (Xmlac_xmldb.Xquery.Annotated n) -> Alcotest.(check int) "runs" 5 n
+  | Ok _ -> Alcotest.fail "expected an annotation query"
+  | Error m -> Alcotest.failf "explain xquery did not run: %s" m);
+  (* The engine's cached plan is what annotate evaluates. *)
+  Alcotest.(check bool) "plan cached" true
+    (Plan.equal_node (Engine.plan eng).Plan.query e.Plan.rewritten.Plan.query)
+
+(* The tentpole property: one plan, three backends, rewrites on or
+   off — identical accessible sets, all equal to the reference
+   semantics. *)
+let plan_cross_backend_prop =
+  QCheck2.Test.make
+    ~name:"plan evaluation agrees across backends and rewrite settings"
+    ~count:60 QCheck2.Gen.int64 (fun seed ->
+      let rng = Prng.create ~seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let n_rules = 1 + Prng.int rng 6 in
+      let rules =
+        List.init n_rules (fun i ->
+            Rule.make
+              ~name:(Printf.sprintf "G%d" i)
+              ~resource:(Helpers.random_hospital_expr rng)
+              (if Prng.bool rng then Rule.Plus else Rule.Minus))
+      in
+      let ds = if Prng.bool rng then Rule.Plus else Rule.Minus in
+      let cr = if Prng.bool rng then Rule.Plus else Rule.Minus in
+      let p = Policy.make ~ds ~cr rules in
+      let expected = Policy.accessible_ids p doc in
+      let backends = backends_for doc ~default_sign:(Rule.effect_to_string ds) in
+      List.for_all
+        (fun rewrite ->
+          List.for_all
+            (fun backend ->
+              let _ = Annotator.annotate ~schema:hospital_sg ~rewrite backend p in
+              Backend.accessible_ids backend ~default:ds = expected)
+            backends)
+        [ true; false ])
+
+(* ------------------------------------------------------------------ *)
 (* Annotator across backends *)
 
 let test_annotate_cross_backend () =
@@ -586,6 +785,17 @@ let () =
           tc "answer = semantics (deny)" test_annotation_query_eval_matches_semantics;
           tc "xquery form" test_annotation_query_xquery_form;
           tc "sql form runs" test_annotation_query_sql_runs;
+        ] );
+      ( "plan",
+        [
+          tc "of_policy shapes" test_plan_of_policy_shapes;
+          tc "simplify" test_plan_simplify;
+          tc "absorb" test_plan_absorb;
+          tc "prune and rewrite" test_plan_prune_and_rewrite;
+          tc "restrict" test_plan_restrict;
+          tc "balanced sql unions" test_plan_sql_balanced;
+          tc "engine explain" test_engine_explain;
+          QCheck_alcotest.to_alcotest plan_cross_backend_prop;
         ] );
       ( "annotator",
         [

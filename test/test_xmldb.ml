@@ -252,6 +252,51 @@ let test_xq_paper_annotation_query_executes () =
     (Xmlac_core.Policy.accessible_ids policy doc)
     plus
 
+let test_xq_empty_sequence () =
+  (* [()] is the empty sequence, alone and as a set operand. *)
+  let store = xq_store () in
+  let count q =
+    match Xquery.run_exn store q with
+    | Xquery.Nodes ns -> List.length ns
+    | Xquery.Annotated _ -> Alcotest.fail "expected nodes"
+  in
+  Alcotest.(check int) "bare" 0 (count "doc(\"hospital\")(())");
+  Alcotest.(check int) "union with empty" 3
+    (count "doc(\"hospital\")(//patient union ())");
+  Alcotest.(check int) "except empty" 3
+    (count "doc(\"hospital\")(//patient except ())");
+  Alcotest.(check int) "empty except" 0
+    (count "doc(\"hospital\")(() except //patient)");
+  Alcotest.(check int) "intersect empty" 0
+    (count "doc(\"hospital\")(//patient intersect ())")
+
+let test_xq_degenerate_query_roundtrips () =
+  (* A policy with no grants compiles to an annotation query whose
+     primary union is empty; its generated text — doc("...")(()) in
+     application form — must still parse and run (the regression this
+     pins down: the printer used to emit doc("hospital")() which the
+     parser rejected). *)
+  let store = xq_store () in
+  let no_grants =
+    Xmlac_core.Policy_io.parse_exn "default deny\nconflict deny\ndeny //patient\n"
+  in
+  let q = Xmlac_core.Annotation_query.build no_grants in
+  let text =
+    Xmlac_core.Annotation_query.to_xquery_string ~doc_name:"hospital" q
+  in
+  (match Xquery.run store text with
+  | Ok (Xquery.Annotated n) -> Alcotest.(check int) "nothing marked" 0 n
+  | Ok (Xquery.Nodes _) -> Alcotest.fail "expected annotation"
+  | Error m -> Alcotest.failf "generated text did not run: %s" m);
+  (* Same via the plan printer for a rule-less policy. *)
+  let rule_less = Xmlac_core.Policy_io.parse_exn "default deny\nconflict deny\n" in
+  let plan = Xmlac_core.Plan.of_policy rule_less in
+  let text = Xmlac_core.Plan.to_xquery ~doc_name:"hospital" plan in
+  match Xquery.run store text with
+  | Ok (Xquery.Annotated 0) -> ()
+  | Ok _ -> Alcotest.fail "expected an empty annotation"
+  | Error m -> Alcotest.failf "rule-less plan text did not run: %s" m
+
 let test_xq_errors () =
   let store = xq_store () in
   let bad q =
@@ -278,6 +323,8 @@ let () =
           tc "xmlac:annotate" test_xq_annotate;
           tc "generated annotation query executes"
             test_xq_paper_annotation_query_executes;
+          tc "empty sequence" test_xq_empty_sequence;
+          tc "degenerate query round-trips" test_xq_degenerate_query_roundtrips;
           tc "errors" test_xq_errors;
         ] );
     ]
