@@ -6,11 +6,17 @@ all:
 test:
 	dune runtest
 
-# What CI runs: build, tests, and — when ocamlformat is available —
-# a formatting check.
+# What CI runs: build, tests, documentation (odoc warnings are fatal,
+# see the root dune file), and — when ocamlformat is available — a
+# formatting check.
 ci:
 	dune build @all
 	dune runtest
+	@if command -v odoc >/dev/null 2>&1; then \
+	  dune build @doc; \
+	else \
+	  echo "odoc not installed; skipping doc check"; \
+	fi
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 	  dune build @fmt; \
 	else \

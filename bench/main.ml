@@ -18,6 +18,7 @@ type experiment =
   | Fig12
   | Ablation
   | AblationPlan
+  | Requester
   | Micro
   | All
 
@@ -30,6 +31,7 @@ let experiment_of_string = function
   | "fig12" -> Ok Fig12
   | "ablation" -> Ok Ablation
   | "ablation-plan" -> Ok AblationPlan
+  | "requester" -> Ok Requester
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -48,6 +50,7 @@ let experiment_conv =
           | Fig12 -> "fig12"
           | Ablation -> "ablation"
           | AblationPlan -> "ablation-plan"
+          | Requester -> "requester"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -60,6 +63,7 @@ let run_one cfg = function
   | Fig12 -> Exp_fig12.run cfg
   | Ablation -> Exp_ablation.run cfg
   | AblationPlan -> Exp_ablation_plan.run cfg
+  | Requester -> Exp_requester.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -70,6 +74,7 @@ let run_one cfg = function
       Exp_fig12.run cfg;
       Exp_ablation.run cfg;
       Exp_ablation_plan.run cfg;
+      Exp_requester.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =
@@ -97,7 +102,7 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     ablation-plan, micro or all (repeatable)."
+     ablation-plan, requester, micro or all (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)
 

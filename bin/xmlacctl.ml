@@ -247,7 +247,7 @@ let depend_cmd =
 
 (* --- explain ------------------------------------------------------ *)
 
-let explain policy_path dtd_name doc_path raw =
+let explain policy_path dtd_name doc_path raw requests =
   let policy = load_policy policy_path in
   let policy = if raw then policy else Optimizer.optimize_policy policy in
   let dtd = load_dtd dtd_name in
@@ -255,7 +255,27 @@ let explain policy_path dtd_name doc_path raw =
   let sg = Xmlac_shrex.Mapping.schema_graph mapping in
   let doc = Option.map load_doc doc_path in
   Format.printf "%a@." Plan.pp_explain
-    (Plan.explain ~schema:sg ~mapping ?doc (Plan.of_policy policy))
+    (Plan.explain ~schema:sg ~mapping ?doc (Plan.of_policy policy));
+  (* The request fast lane, exercised live: each --request query is
+     answered twice through an engine (cold, then cached), then the
+     fast-lane counters and stage timings are dumped. *)
+  match (requests, doc) with
+  | [], _ -> ()
+  | _ :: _, None -> die "--request needs --doc to build an engine"
+  | queries, Some doc ->
+      let eng = Engine.create ~optimize:(not raw) ~dtd ~policy doc in
+      let _ = Engine.annotate_all eng in
+      print_endline "requester fast lane:";
+      Format.printf "  %a@." Cam.pp (Engine.cam eng);
+      List.iter
+        (fun q ->
+          let cold = Engine.request eng Engine.Native q in
+          let warm = Engine.request eng Engine.Native q in
+          ignore cold;
+          Format.printf "  %-40s -> %a@." q Requester.pp warm)
+        queries;
+      Format.printf "@[<v 2>  metrics:@,%a@]@."
+        Xmlac_util.Metrics.pp (Engine.metrics eng)
 
 let explain_cmd =
   let policy_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY") in
@@ -270,10 +290,18 @@ let explain_cmd =
     Arg.(value & flag
          & info [ "raw" ] ~doc:"Compile the policy as written, skipping redundancy elimination.")
   in
+  let requests =
+    Arg.(value & opt_all string []
+         & info [ "request" ]
+             ~doc:"Also run this XPath request twice (cold, cached) through \
+                   the engine's fast lane and report its metrics — cache \
+                   hits, CAM lookups, per-stage timings. Needs --doc. \
+                   Repeatable.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show a policy's annotation plan: rewrite trace, SQL and XQuery lowerings, timings.")
-    Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw)
+    Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw $ requests)
 
 (* --- view --------------------------------------------------------- *)
 

@@ -14,7 +14,7 @@ type t = {
       (** Ids in the annotation plan's answer, ascending — the plan is
           lowered to the backend's own algebra (SQL with balanced
           unions relationally, id-set algebra natively), with any
-          {!Plan.node.Restrict} applied as a semijoin on the
+          [Plan.Restrict] applied as a semijoin on the
           answer. *)
   set_sign_ids : int list -> Xmlac_xml.Tree.sign -> int;
       (** Stamps the sign on the given nodes; ids no longer present are

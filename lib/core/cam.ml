@@ -3,23 +3,36 @@ module Tree = Xmlac_xml.Tree
 type t = {
   default : Tree.sign;
   map : (int, Tree.sign) Hashtbl.t;  (** Sign-change points only. *)
-  node_count : int;
+  mutable node_count : int;
 }
 
+let effective default (n : Tree.node) =
+  match n.Tree.sign with Some s -> s | None -> default
+
+(* Set or clear the entry at [n] given its parent's effective sign:
+   an entry exists exactly where the effective sign flips. *)
+let refresh_entry t inherited (n : Tree.node) =
+  let eff = effective t.default n in
+  if eff <> inherited then Hashtbl.replace t.map n.Tree.id eff
+  else Hashtbl.remove t.map n.Tree.id
+
+let parent_effective t (n : Tree.node) =
+  match Tree.parent n with
+  | Some p -> effective t.default p
+  | None -> t.default
+
 let build doc ~default =
-  let map = Hashtbl.create 64 in
+  let t = { default; map = Hashtbl.create 64; node_count = Tree.size doc } in
   (* Preorder walk carrying the parent's effective sign: record an
      entry exactly where the effective sign flips.  Effective follows
      the store's model — the node's explicit sign, or the default. *)
   let rec go inherited (n : Tree.node) =
-    let effective =
-      match n.Tree.sign with Some s -> s | None -> default
-    in
-    if effective <> inherited then Hashtbl.replace map n.Tree.id effective;
-    List.iter (go effective) n.Tree.children
+    let eff = effective default n in
+    if eff <> inherited then Hashtbl.replace t.map n.Tree.id eff;
+    List.iter (go eff) n.Tree.children
   in
   go default (Tree.root doc);
-  { default; map; node_count = Tree.size doc }
+  t
 
 let lookup t (n : Tree.node) =
   let rec up (m : Tree.node) =
@@ -30,12 +43,67 @@ let lookup t (n : Tree.node) =
   in
   up n
 
+let default t = t.default
 let entries t = Hashtbl.length t.map
 let node_count t = t.node_count
 
 let compression_ratio t =
   if t.node_count = 0 then 0.0
   else float_of_int (entries t) /. float_of_int t.node_count
+
+(* A sign write at [n] changes eff(n) only, and an entry at [m] depends
+   only on eff(m) vs eff(parent m) — so the write moves change points
+   at [n] and at [n]'s children, nowhere else. *)
+let apply_changes t doc ~changed =
+  let touched = Hashtbl.create 16 in
+  let refresh (n : Tree.node) =
+    if not (Hashtbl.mem touched n.Tree.id) then begin
+      Hashtbl.replace touched n.Tree.id ();
+      refresh_entry t (parent_effective t n) n
+    end
+  in
+  List.iter
+    (fun id ->
+      match Tree.find doc id with
+      | None -> ()  (* written then deleted; purge handles its entry *)
+      | Some n ->
+          refresh n;
+          List.iter refresh n.Tree.children)
+    changed;
+  t.node_count <- Tree.size doc;
+  Hashtbl.length touched
+
+let rebuild_subtree t doc ~root =
+  match Tree.find doc root with
+  | None -> 0
+  | Some r ->
+      let count = ref 0 in
+      let rec go inherited (n : Tree.node) =
+        incr count;
+        refresh_entry t inherited n;
+        List.iter (go (effective t.default n)) n.Tree.children
+      in
+      go (parent_effective t r) r;
+      t.node_count <- Tree.size doc;
+      !count
+
+let purge t doc =
+  let dead =
+    Hashtbl.fold
+      (fun id _ acc ->
+        match Tree.find doc id with None -> id :: acc | Some _ -> acc)
+      t.map []
+  in
+  List.iter (Hashtbl.remove t.map) dead;
+  t.node_count <- Tree.size doc;
+  List.length dead
+
+let equal a b =
+  a.default = b.default
+  && Hashtbl.length a.map = Hashtbl.length b.map
+  && Hashtbl.fold
+       (fun id s acc -> acc && Hashtbl.find_opt b.map id = Some s)
+       a.map true
 
 let pp ppf t =
   Format.fprintf ppf "cam: %d entr%s over %d nodes (ratio %.3f, default %s)"

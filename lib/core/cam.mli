@@ -6,8 +6,18 @@
     only at nodes whose {e effective} sign differs from their parent's;
     a lookup walks up to the nearest recorded ancestor.  This is the
     compact labeling the paper cites as the more sophisticated way to
-    store annotations, provided here as a diagnostics/alternative
-    representation over the same materialized signs. *)
+    store annotations.
+
+    Since PR 2 the CAM is also the requester's hot-path index
+    ({!Engine.request}): the engine owns one map over the native
+    store's signs and maintains it {e incrementally} — after partial
+    re-annotation (Section 5.3) only the entries of the nodes whose
+    sign actually changed (plus their children, whose change-point
+    status depends on the parent) are recomputed, so maintenance cost
+    follows the affected region, not the document.  The invariant
+    maintained throughout: a node carries an entry iff its effective
+    sign differs from its parent's effective sign (the root's
+    reference sign being [default]). *)
 
 type t
 
@@ -20,14 +30,49 @@ val lookup : t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign
 (** Effective sign of a node of the document the map was built from.
     O(depth) worst case; O(1) when the node itself carries an entry. *)
 
+val default : t -> Xmlac_xml.Tree.sign
+
 val entries : t -> int
 (** Stored sign changes. *)
 
 val node_count : t -> int
-(** Document size at build time. *)
+(** Document size at build time (kept current by the incremental
+    maintenance operations). *)
 
 val compression_ratio : t -> float
 (** [entries / node_count]; small is good — 1.0 means the map
     degenerated to one sign per node. *)
+
+(** {1 Incremental maintenance}
+
+    All three operations return how many nodes (or entries) they
+    examined — the engine's [cam.touched] counter, which the
+    [exp_requester] bench checks against the re-annotator's affected
+    region. *)
+
+val apply_changes : t -> Xmlac_xml.Tree.t -> changed:int list -> int
+(** [apply_changes t doc ~changed] repairs the map after the sign
+    slots of the nodes in [changed] were rewritten in place.  A sign
+    write at [n] can only move the change points at [n] itself and at
+    [n]'s children, so exactly those entries are recomputed; ids no
+    longer present in [doc] are ignored (see {!purge}).  Returns the
+    number of distinct nodes examined. *)
+
+val rebuild_subtree : t -> Xmlac_xml.Tree.t -> root:int -> int
+(** Recomputes every entry in the subtree rooted at id [root]
+    (inheriting from the live parent's effective sign) — used for
+    freshly grafted fragments, whose nodes have no entries yet.
+    Returns the subtree's node count; 0 when [root] is not in
+    [doc]. *)
+
+val purge : t -> Xmlac_xml.Tree.t -> int
+(** Drops entries whose node no longer exists in [doc] (deleted
+    subtrees).  Stale entries are unreachable from {!lookup} — walks
+    start at live nodes — so this is garbage collection, not
+    correctness repair; O(entries).  Returns how many were dropped. *)
+
+val equal : t -> t -> bool
+(** Same default and identical entry sets — the checked-fallback test:
+    an incrementally maintained map must equal a fresh {!build}. *)
 
 val pp : Format.formatter -> t -> unit

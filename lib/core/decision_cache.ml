@@ -1,0 +1,49 @@
+type 'a entry = { epoch : int; value : 'a }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  order : string Queue.t;  (* insertion order; may hold replaced keys *)
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Decision_cache.create: capacity < 1";
+  { capacity; table = Hashtbl.create (min capacity 64); order = Queue.create () }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let find t ~epoch key =
+  match Hashtbl.find_opt t.table key with
+  | Some e when e.epoch = epoch -> Some e.value
+  | Some _ ->
+      (* A decision from a previous document/annotation state: dead
+         weight under the current epoch — drop it eagerly so stale
+         entries never crowd out live ones. *)
+      Hashtbl.remove t.table key;
+      None
+  | None -> None
+
+(* Evict in insertion order until under capacity.  The queue may hold
+   keys whose entry was since removed (stale-epoch eviction) — those
+   are skipped for free. *)
+let rec make_room t =
+  if Hashtbl.length t.table >= t.capacity then
+    match Queue.take_opt t.order with
+    | None -> ()  (* queue exhausted: table was filled by re-adds *)
+    | Some key ->
+        Hashtbl.remove t.table key;
+        make_room t
+
+let add t ~epoch key value =
+  if not (Hashtbl.mem t.table key) then begin
+    make_room t;
+    Queue.add key t.order
+  end;
+  Hashtbl.replace t.table key { epoch; value }
+
+let clear t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order

@@ -1,0 +1,38 @@
+(** Bounded, epoch-invalidated memo table for requester decisions.
+
+    The paper's requester (Section 4) recomputes each all-or-nothing
+    decision from the materialized signs on every call; under the
+    read-heavy workloads the roadmap targets, the same XPath queries
+    arrive over and over between document updates.  This cache makes
+    the repeat case O(1): decisions are stored under a string key
+    (backend + query text) tagged with the {e epoch} — the engine's
+    version counter, bumped on every annotation or document change —
+    and a lookup only answers when the stored epoch matches, so no
+    decision computed against an old document or policy state can ever
+    be served.
+
+    Capacity is bounded; when full, entries are evicted in insertion
+    order (and entries invalidated by an epoch bump are dropped lazily
+    as they are encountered).  The cache stores values of any type —
+    the engine instantiates it at {!Requester.decision}. *)
+
+type 'a t
+
+val default_capacity : int
+(** 256. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find : 'a t -> epoch:int -> string -> 'a option
+(** The cached value, iff it was stored under the same [epoch].  An
+    entry from an older epoch is removed on sight. *)
+
+val add : 'a t -> epoch:int -> string -> 'a -> unit
+(** Inserts (or overwrites) the entry, evicting the oldest ones when
+    the table is at capacity. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val clear : 'a t -> unit

@@ -2,6 +2,7 @@ module Tree = Xmlac_xml.Tree
 module Sg = Xmlac_xml.Schema_graph
 module Db = Xmlac_reldb.Database
 module Table = Xmlac_reldb.Table
+module Metrics = Xmlac_util.Metrics
 
 type backend_kind = Native | Row_sql | Column_sql
 
@@ -28,9 +29,21 @@ type t = {
   native : Backend.t;
   row : Backend.t;
   column : Backend.t;
+  (* The request fast lane: a CAM over the native store's signs,
+     maintained incrementally, plus a bounded per-(backend, query)
+     decision cache invalidated by bumping [epoch].  [annotated] lists
+     the kinds annotated so far: relational requests may borrow the
+     native CAM only while all stores are known to be in lockstep. *)
+  metrics : Metrics.t;
+  cache : Requester.decision Decision_cache.t;
+  mutable cam : Cam.t;
+  mutable epoch : int;
+  mutable annotated : backend_kind list;
+  mutable divergent : bool;
 }
 
-let create ?(mode = Paper_mode) ?(optimize = true) ~dtd ~policy doc =
+let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
+    doc =
   let mapping = Xmlac_shrex.Mapping.of_dtd dtd in
   let sg = Xmlac_shrex.Mapping.schema_graph mapping in
   let original_policy = policy in
@@ -65,6 +78,12 @@ let create ?(mode = Paper_mode) ?(optimize = true) ~dtd ~policy doc =
     native = Xml_backend.make native_doc;
     row = Rel_backend.make mapping row_db;
     column = Rel_backend.make mapping col_db;
+    metrics = Metrics.create ();
+    cache = Decision_cache.create ?capacity:cache_capacity ();
+    cam = Cam.build native_doc ~default:(Policy.ds policy);
+    epoch = 0;
+    annotated = [];
+    divergent = false;
   }
 
 let policy t = t.policy
@@ -74,6 +93,9 @@ let mapping t = t.mapping
 let schema_graph t = t.sg
 let depend t = t.depend
 let plan t = t.plan
+let metrics t = t.metrics
+let cam t = t.cam
+let epoch t = t.epoch
 
 let explain ?(with_doc = true) t =
   Plan.explain ~schema:t.sg ~mapping:t.mapping
@@ -87,20 +109,133 @@ let backend t = function
 
 let document t = t.doc
 
-let annotate t kind = Annotator.annotate_with_plan (backend t kind) t.plan
+(* All stores agree sign-for-sign when they share a history: either
+   none has been annotated yet (all still carry the load-time default)
+   or all three have been annotated since the last known divergence.
+   Engine-level updates repair every store, so they preserve whichever
+   of the two states holds; {!refresh} declares a divergence (signs
+   were mutated behind the engine's back) that only annotating all
+   three stores clears. *)
+let in_lockstep t =
+  match t.annotated with
+  | [] -> not t.divergent
+  | ks -> List.length ks = 3
+
+let bump_epoch t = t.epoch <- t.epoch + 1
+
+let rebuild_cam t =
+  Metrics.incr t.metrics "cam.full_rebuilds";
+  t.cam <- Cam.build t.doc ~default:(Policy.ds t.policy)
+
+(* Incremental CAM maintenance from the re-annotator's changed-id
+   report (plus the roots of freshly grafted subtrees); any failure
+   falls back to a full rebuild, counted so the bench can see it. *)
+let maintain_cam t ~changed ~roots =
+  Metrics.time t.metrics "cam.maintain" (fun () ->
+      match
+        let touched = Cam.apply_changes t.cam t.doc ~changed in
+        let touched =
+          List.fold_left
+            (fun acc root -> acc + Cam.rebuild_subtree t.cam t.doc ~root)
+            touched roots
+        in
+        let purged = Cam.purge t.cam t.doc in
+        (touched, purged)
+      with
+      | touched, purged ->
+          Metrics.add t.metrics "cam.touched" touched;
+          Metrics.add t.metrics "cam.purged" purged
+      | exception _ -> rebuild_cam t)
+
+let cam_check t =
+  let fresh = Cam.build t.doc ~default:(Policy.ds t.policy) in
+  let ok = Cam.equal t.cam fresh in
+  if not ok then begin
+    Metrics.incr t.metrics "cam.check_failures";
+    t.cam <- fresh
+  end;
+  ok
+
+let refresh t =
+  bump_epoch t;
+  Decision_cache.clear t.cache;
+  t.divergent <- true;
+  t.annotated <- [];
+  rebuild_cam t
+
+let annotate t kind =
+  let stats = Annotator.annotate_with_plan (backend t kind) t.plan in
+  bump_epoch t;
+  if not (List.mem kind t.annotated) then t.annotated <- kind :: t.annotated;
+  if List.length t.annotated = 3 then t.divergent <- false;
+  if kind = Native then
+    t.cam <- Cam.build t.doc ~default:(Policy.ds t.policy);
+  stats
 
 let annotate_all t =
   List.map (fun k -> (k, annotate t k)) all_backend_kinds
 
+let effective_plus t b id =
+  Backend.effective_sign b ~default:(Policy.ds t.policy) id = Tree.Plus
+
+let request_uncached t kind expr =
+  let b = backend t kind in
+  if kind = Native || in_lockstep t then begin
+    let ids =
+      Metrics.time t.metrics "request.eval" (fun () ->
+          b.Backend.eval_ids expr)
+    in
+    Metrics.add t.metrics "cam.lookups" (List.length ids);
+    Metrics.time t.metrics "request.check" (fun () ->
+        Requester.decide ~ids ~accessible:(fun id ->
+            match Tree.find t.doc id with
+            | Some n -> Cam.lookup t.cam n = Tree.Plus
+            | None ->
+                (* Not in the native tree (should not happen while the
+                   stores are in lockstep): fall back to the backend's
+                   own signs. *)
+                effective_plus t b id))
+  end
+  else begin
+    (* This store's signs have diverged from the native ones (only one
+       of the two annotation states reached it); the CAM does not
+       describe it, so read its signs directly. *)
+    Metrics.incr t.metrics "fastlane.bypass";
+    Requester.request b ~default:(Policy.ds t.policy) expr
+  end
+
 let request t kind query =
-  Requester.request_string (backend t kind) ~default:(Policy.ds t.policy) query
+  Metrics.time t.metrics "request" (fun () ->
+      let key = backend_kind_to_string kind ^ "\x00" ^ query in
+      match Decision_cache.find t.cache ~epoch:t.epoch key with
+      | Some d ->
+          Metrics.incr t.metrics "cache.hits";
+          d
+      | None ->
+          Metrics.incr t.metrics "cache.misses";
+          let d = request_uncached t kind (Requester.parse_or_fail query) in
+          Decision_cache.add t.cache ~epoch:t.epoch key d;
+          d)
+
+let request_direct t kind query =
+  Requester.request (backend t kind) ~default:(Policy.ds t.policy)
+    (Requester.parse_or_fail query)
 
 let update t query =
   let expr = Xmlac_xpath.Parser.parse_exn query in
-  List.map
-    (fun k ->
-      (k, Reannotator.reannotate ~schema:t.sg (backend t k) t.depend ~update:expr))
-    all_backend_kinds
+  let stats =
+    List.map
+      (fun k ->
+        ( k,
+          Reannotator.reannotate ~schema:t.sg (backend t k) t.depend
+            ~update:expr ))
+      all_backend_kinds
+  in
+  bump_epoch t;
+  (match List.assoc_opt Native stats with
+  | Some s -> maintain_cam t ~changed:s.Reannotator.changed ~roots:[]
+  | None -> rebuild_cam t);
+  stats
 
 (* Insert updates: graft into the native store first, then mirror the
    freshly created subtrees — same universal ids — into both relational
@@ -139,8 +274,14 @@ let insert t ~at ~fragment =
             !new_roots;
           List.length !new_roots) )
   in
-  [ (Native, native_stats); rel Row_sql t.row t.row_db;
-    rel Column_sql t.column t.col_db ]
+  let stats =
+    [ (Native, native_stats); rel Row_sql t.row t.row_db;
+      rel Column_sql t.column t.col_db ]
+  in
+  bump_epoch t;
+  maintain_cam t ~changed:native_stats.Reannotator.changed
+    ~roots:(List.map (fun (n : Tree.node) -> n.Tree.id) !new_roots);
+  stats
 
 let accessible t kind =
   Backend.accessible_ids (backend t kind) ~default:(Policy.ds t.policy)

@@ -6,7 +6,25 @@
     ("PostgreSQL") and a column-engine database ("MonetDB/SQL"), keeps
     a private native copy ("MonetDB/XQuery"), optimizes the policy and
     precomputes the rule dependency graph.  Updates are applied to all
-    three stores so their annotations can be compared at any point. *)
+    three stores so their annotations can be compared at any point.
+
+    {2 The request fast lane}
+
+    The paper's requester (Section 4) reads the materialized sign of
+    every selected node on every call.  The engine instead owns a
+    {!Cam} over the native store's signs — O(depth) lookups against a
+    map whose size follows the sign {e changes}, not the document —
+    and a bounded {!Decision_cache} keyed by (backend, query text), so
+    a query repeated between updates costs one hash lookup.  Every
+    mutation ({!annotate}, {!update}, {!insert}) bumps the engine's
+    {!epoch}, which invalidates all cached decisions at once; document
+    updates repair the CAM {e incrementally} from the re-annotator's
+    changed-id report ([Reannotator.stats.changed]), with a full
+    rebuild as fallback ({!cam_check} verifies the incremental map
+    against a fresh build).  The whole path is instrumented through
+    {!Xmlac_util.Metrics} — cache hits/misses, CAM lookups and touched
+    entries, per-stage timings — surfaced by [xmlacctl explain
+    --request] and the [exp_requester] bench. *)
 
 type backend_kind = Native | Row_sql | Column_sql
 
@@ -21,12 +39,15 @@ type t
 val create :
   ?mode:trigger_mode ->
   ?optimize:bool ->
+  ?cache_capacity:int ->
   dtd:Xmlac_xml.Dtd.t ->
   policy:Policy.t ->
   Xmlac_xml.Tree.t ->
   t
 (** [optimize] (default [true]) runs redundancy elimination first.
-    The source document is copied; the caller's tree is not touched. *)
+    [cache_capacity] bounds the decision cache (default
+    {!Decision_cache.default_capacity}).  The source document is
+    copied; the caller's tree is not touched. *)
 
 val policy : t -> Policy.t
 (** The (possibly optimized) policy in force. *)
@@ -52,15 +73,31 @@ val document : t -> Xmlac_xml.Tree.t
 (** The native store's live document. *)
 
 val annotate : t -> backend_kind -> Annotator.stats
+(** Full annotation of one store; bumps the {!epoch} and, for the
+    native store, rebuilds the CAM. *)
+
 val annotate_all : t -> (backend_kind * Annotator.stats) list
 
 val request : t -> backend_kind -> string -> Requester.decision
 (** All-or-nothing query answering against the materialized
-    annotations. *)
+    annotations — the fast lane: served from the decision cache when
+    the query repeats within the current epoch, otherwise evaluated
+    through the backend with accessibility checked against the CAM.
+    (While the stores are known to have diverged — some but not all
+    annotated — relational requests read their own signs directly.)
+    @raise Invalid_argument on a malformed query, naming the
+    expression and error position. *)
+
+val request_direct : t -> backend_kind -> string -> Requester.decision
+(** The pre-fast-lane path: per-node sign reads through the backend,
+    no CAM, no cache.  The baseline the [exp_requester] bench and the
+    equivalence property compare {!request} against.
+    @raise Invalid_argument like {!request}. *)
 
 val update : t -> string -> (backend_kind * Reannotator.stats) list
 (** Applies a delete update (XPath string) to every store and
-    re-annotates each partially. *)
+    re-annotates each partially; bumps the {!epoch} and repairs the
+    CAM incrementally from the native store's changed-id report. *)
 
 val insert :
   t -> at:string -> fragment:Xmlac_xml.Tree.t ->
@@ -69,10 +106,40 @@ val insert :
     every store (the relational stores mirror the native store's fresh
     universal ids, so the three stay comparable) and partially
     re-annotates each.  The trigger treats the insertion points —
-    [at/<fragment-root>] — as the update expression. *)
+    [at/<fragment-root>] — as the update expression.  Bumps the
+    {!epoch}; the CAM entries of the changed nodes and of the grafted
+    subtrees are rebuilt incrementally. *)
 
 val consistent : t -> bool
 (** Whether all three stores currently materialize the same accessible
     node set — the cross-backend invariant the tests lean on. *)
 
 val accessible : t -> backend_kind -> int list
+
+(** {1 Fast-lane observability} *)
+
+val metrics : t -> Xmlac_util.Metrics.t
+(** Counters and stage timings of the request path: [cache.hits],
+    [cache.misses], [cam.lookups], [cam.touched], [cam.purged],
+    [cam.full_rebuilds], [fastlane.bypass]; stages [request],
+    [request.eval], [request.check], [cam.maintain]. *)
+
+val cam : t -> Cam.t
+(** The engine's live CAM over the native store's signs. *)
+
+val epoch : t -> int
+(** Version counter of the materialized state; bumped by {!annotate},
+    {!update}, {!insert} and {!refresh}.  Cached decisions from older
+    epochs are never served. *)
+
+val cam_check : t -> bool
+(** The checked fallback: compares the incrementally maintained CAM
+    against a fresh build.  Returns [true] when they agree; on
+    disagreement repairs the engine by installing the fresh map
+    (counted as [cam.check_failures]) and returns [false]. *)
+
+val refresh : t -> unit
+(** Invalidate the fast lane wholesale: bump the epoch, clear the
+    decision cache and rebuild the CAM.  Call after mutating a
+    backend's signs behind the engine's back (e.g. driving
+    {!Annotator} directly on {!backend}). *)

@@ -67,7 +67,7 @@ val of_rules : Policy.t -> Rule.t list -> t
     [of_policy p]. *)
 
 val restrict : Ids.t -> t -> t
-(** Wraps the query in a {!node.Restrict} on the given id set. *)
+(** Wraps the query in a [Restrict] node on the given id set. *)
 
 (** {1 Inspection} *)
 

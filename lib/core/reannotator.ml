@@ -3,6 +3,7 @@ type stats = {
   affected : int;
   deleted_roots : int;
   marked : int;
+  changed : int list;
 }
 
 (* Union of the rules' scope id sets, evaluated through the backend —
@@ -56,13 +57,15 @@ let repair ?schema (backend : Backend.t) depend ~touched ~apply =
       end
       else if current <> default then to_default := id :: !to_default)
     live;
-  let _ = backend.Backend.set_sign_ids (List.rev !to_default) default in
-  let marked = backend.Backend.set_sign_ids (List.rev !to_mark) mark_sign in
+  let to_default = List.rev !to_default and to_mark = List.rev !to_mark in
+  let _ = backend.Backend.set_sign_ids to_default default in
+  let marked = backend.Backend.set_sign_ids to_mark mark_sign in
   {
     triggered = Trigger.all trig;
     affected = Plan.Ids.cardinal live;
     deleted_roots;
     marked;
+    changed = to_default @ to_mark;
   }
 
 let reannotate ?schema backend depend ~update =

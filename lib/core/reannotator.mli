@@ -22,6 +22,11 @@ type stats = {
   affected : int;  (** Affected nodes still live after the update. *)
   deleted_roots : int;  (** Subtree roots removed by the update. *)
   marked : int;  (** Nodes stamped with the non-default sign. *)
+  changed : int list;
+      (** The ids whose sign was actually rewritten (both directions) —
+          a subset of the affected region, reported so downstream
+          indexes ({!Cam.apply_changes} in the engine) can repair
+          themselves incrementally instead of rebuilding. *)
 }
 
 val reannotate :

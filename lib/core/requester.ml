@@ -4,18 +4,27 @@ type decision =
   | Granted of int list
   | Denied of { blocked : int }
 
-let request (backend : Backend.t) ~default expr =
-  let ids = backend.Backend.eval_ids expr in
-  let blocked =
-    List.length
-      (List.filter
-         (fun id -> Backend.effective_sign backend ~default id <> Tree.Plus)
-         ids)
-  in
+let decide ~ids ~accessible =
+  let blocked = List.length (List.filter (fun id -> not (accessible id)) ids) in
   if blocked = 0 then Granted ids else Denied { blocked }
 
+let request_via ~sign (backend : Backend.t) expr =
+  let ids = backend.Backend.eval_ids expr in
+  decide ~ids ~accessible:(fun id -> sign id = Tree.Plus)
+
+let request (backend : Backend.t) ~default expr =
+  request_via ~sign:(Backend.effective_sign backend ~default) backend expr
+
+let parse_or_fail s =
+  match Xmlac_xpath.Parser.parse s with
+  | Ok e -> e
+  | Error { Xmlac_xpath.Parser.pos; message } ->
+      invalid_arg
+        (Printf.sprintf "request: cannot parse %S at position %d: %s" s pos
+           message)
+
 let request_string backend ~default s =
-  request backend ~default (Xmlac_xpath.Parser.parse_exn s)
+  request backend ~default (parse_or_fail s)
 
 let is_granted = function Granted _ -> true | Denied _ -> false
 

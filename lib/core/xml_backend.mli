@@ -1,5 +1,13 @@
 (** Native XML backend: direct XPath evaluation and in-place sign
-    mutation over one document — the MonetDB/XQuery role. *)
+    mutation over one document — the MonetDB/XQuery role.
+
+    In the paper's native store (Section 5.2), annotations are [sign]
+    attributes written by the generated
+    [for $n in doc(...)(...) return xmlac:annotate($n, ...)] queries;
+    here the same surface is the sign slot of {!Xmlac_xml.Tree} nodes,
+    and plan evaluation short-circuits the XQuery text to direct
+    id-set evaluation (the text form itself is covered by
+    {!Xmlac_xmldb.Xquery}). *)
 
 val make : Xmlac_xml.Tree.t -> Backend.t
 (** The backend operates on the document in place. *)

@@ -19,7 +19,7 @@ val cmp_holds : cmp -> t -> t -> bool
 (** SQL-style comparison: any comparison involving [Null] is false.
     [Int]-[Str] comparisons coerce the string numerically when
     possible, otherwise compare the printed forms — mirroring the
-    XPath-side {!Xmlac_xpath.Ast.cmp_holds} so both backends agree. *)
+    XPath-side [Xmlac_xpath.Ast.cmp_holds] so both backends agree. *)
 
 val to_literal : t -> string
 (** SQL literal syntax: [NULL], [42], ['it''s']. *)

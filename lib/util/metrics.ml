@@ -1,0 +1,84 @@
+type stage = {
+  mutable total : float;  (* seconds, outermost spans only *)
+  mutable calls : int;
+  mutable depth : int;  (* re-entrancy guard *)
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  stages : (string, stage) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; stages = Hashtbl.create 8 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+let add t name n = counter_ref t name := !(counter_ref t name) + n
+let incr t name = add t name 1
+let counter t name = match Hashtbl.find_opt t.counters name with
+  | Some r -> !r
+  | None -> 0
+
+let counters t =
+  List.sort compare
+    (Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters [])
+
+let stage_ref t name =
+  match Hashtbl.find_opt t.stages name with
+  | Some s -> s
+  | None ->
+      let s = { total = 0.0; calls = 0; depth = 0 } in
+      Hashtbl.replace t.stages name s;
+      s
+
+let time t name f =
+  let s = stage_ref t name in
+  s.depth <- s.depth + 1;
+  if s.depth > 1 then
+    (* Nested span of the same stage: already covered by the outer
+       one; count the call but not the time. *)
+    Fun.protect ~finally:(fun () -> s.depth <- s.depth - 1) (fun () ->
+        s.calls <- s.calls + 1;
+        f ())
+  else
+    let start = Timing.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        s.total <- s.total +. (Timing.now () -. start);
+        s.calls <- s.calls + 1;
+        s.depth <- s.depth - 1)
+      f
+
+let timings t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun name s acc -> (name, s.total, s.calls) :: acc)
+       t.stages [])
+
+let hit_rate t ~hits ~misses =
+  let h = counter t hits and m = counter t misses in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.stages
+
+let pp ppf t =
+  let counters = counters t and timings = timings t in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-28s %10d@," name v)
+    counters;
+  List.iter
+    (fun (name, total, calls) ->
+      let mean = if calls = 0 then 0.0 else total /. float_of_int calls in
+      Format.fprintf ppf "%-28s %10d call(s)  total %a  mean %a@," name calls
+        Timing.pp_seconds total Timing.pp_seconds mean)
+    timings;
+  Format.fprintf ppf "@]"

@@ -1,4 +1,9 @@
-(** Plain-text table rendering for benchmark and report output. *)
+(** Plain-text table rendering for benchmark and report output.
+
+    The paper presents its evaluation as tables and figures (Tables
+    3 and 5, Figures 9-12); the [bench/] reproductions print their
+    counterparts through this module so every experiment reports in
+    one aligned, diff-friendly format. *)
 
 type align = Left | Right
 

@@ -1,4 +1,10 @@
-(** Wall-clock measurement helpers for the benchmark harness. *)
+(** Wall-clock measurement helpers for the benchmark harness.
+
+    Every timing figure the repository reports — the Section 7
+    reproductions in [bench/] (loading, response, annotation and
+    re-annotation times of Figures 9-12), the [explain] stage trace,
+    and the {!Metrics} stage timers — goes through [now]/[time] here,
+    so the clock source and its resolution are decided in one place. *)
 
 val now : unit -> float
 (** Monotonic time in seconds. *)

@@ -42,4 +42,4 @@ val eval : t -> doc:string -> Xmlac_xpath.Ast.expr -> Xmlac_xml.Tree.node list
 
 val eval_ids : t -> doc:string -> Xmlac_xpath.Ast.expr -> int list
 (** Selected universal ids, ascending — directly comparable with
-    {!Xmlac_shrex.Translate.eval_ids}. *)
+    [Xmlac_shrex.Translate.eval_ids]. *)

@@ -27,7 +27,7 @@
 
     Set operators associate left with equal precedence (parenthesize,
     as the generated queries do).  This is what lets the output of
-    {!Xmlac_core.Annotation_query.to_xquery_string} be executed, not
+    [Xmlac_core.Annotation_query.to_xquery_string] be executed, not
     just displayed. *)
 
 type action = Return | Annotate of Xmlac_xml.Tree.sign

@@ -23,6 +23,14 @@ let ids doc expr_str =
 
 let names_of nodes = List.map (fun (n : Tree.node) -> n.Tree.name) nodes
 
+(* Substring test for error-message assertions. *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
 (* A small random hospital-schema document for property tests. *)
 let random_hospital_doc rng =
   let departments = 1 + Prng.int rng 3 in

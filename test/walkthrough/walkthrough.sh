@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Cram-style transcript of the README walkthrough.  Runs the xmlacctl
+# pipeline (generate -> annotate -> request -> update -> explain) in a
+# scratch directory and prints each command with its output, so the
+# promoted walkthrough.expected keeps the README honest.
+set -u
+
+xmlacctl=$(realpath "$1")
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+# Strip wall-clock readings (Timing.pp_seconds output) so the
+# transcript stays deterministic.
+detime() {
+  sed -E 's/[0-9]+(\.[0-9]+)?(e[-+]?[0-9]+)? ?(ns|us|ms|s)\b/<time>/g'
+}
+
+show() {
+  echo "\$ xmlacctl $*"
+  "$xmlacctl" "$@" 2>&1 | detime
+  status=${PIPESTATUS[0]}
+  if [ "$status" -ne 0 ]; then echo "[exit $status]"; fi
+}
+
+cat > auction.policy <<'EOF'
+# Auction-site policy: people are visible by name only, except that
+# anyone with a credit card on file is hidden entirely.
+default deny
+conflict deny
+allow //person
+allow //person/name
+deny  //person[creditcard]
+allow //open_auction
+EOF
+echo "\$ cat auction.policy"
+cat auction.policy
+
+show generate -f 0.005 -o site.xml
+show annotate site.xml auction.policy -o annotated.xml
+show query annotated.xml auction.policy "//person/name"
+show query annotated.xml auction.policy "//person"
+show update annotated.xml auction.policy --dtd xmark "//person/creditcard" -o updated.xml
+show query updated.xml auction.policy "//person"
+show explain auction.policy --dtd xmark --doc site.xml \
+  --request "//person/name" --request "//open_auction"
