@@ -19,6 +19,7 @@ type experiment =
   | Ablation
   | AblationPlan
   | Requester
+  | Recovery
   | Micro
   | All
 
@@ -32,6 +33,7 @@ let experiment_of_string = function
   | "ablation" -> Ok Ablation
   | "ablation-plan" -> Ok AblationPlan
   | "requester" -> Ok Requester
+  | "recovery" -> Ok Recovery
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -51,6 +53,7 @@ let experiment_conv =
           | Ablation -> "ablation"
           | AblationPlan -> "ablation-plan"
           | Requester -> "requester"
+          | Recovery -> "recovery"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -64,6 +67,7 @@ let run_one cfg = function
   | Ablation -> Exp_ablation.run cfg
   | AblationPlan -> Exp_ablation_plan.run cfg
   | Requester -> Exp_requester.run cfg
+  | Recovery -> Exp_recovery.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -75,6 +79,7 @@ let run_one cfg = function
       Exp_ablation.run cfg;
       Exp_ablation_plan.run cfg;
       Exp_requester.run cfg;
+      Exp_recovery.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =
@@ -102,7 +107,7 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     ablation-plan, requester, micro or all (repeatable)."
+     ablation-plan, requester, recovery, micro or all (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)
 

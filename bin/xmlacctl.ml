@@ -9,11 +9,14 @@
      query      all-or-nothing request against an annotated document
      update     delete update + trigger-based partial re-annotation
      depend     show rule expansions and the dependency graph
-     explain    annotation plan, rewrite trace, lowerings, timings *)
+     explain    annotation plan, rewrite trace, lowerings, timings
+     recover    crash a mutating epoch at a fault point, then recover *)
 
 open Cmdliner
 open Xmlac_core
 module Tree = Xmlac_xml.Tree
+module Fault = Xmlac_util.Fault
+module Timing = Xmlac_util.Timing
 
 let read_file path =
   let ic = open_in_bin path in
@@ -274,6 +277,20 @@ let explain policy_path dtd_name doc_path raw requests =
           ignore cold;
           Format.printf "  %-40s -> %a@." q Requester.pp warm)
         queries;
+      print_endline "durability:";
+      Printf.printf "  sign epoch        %d (committed)\n"
+        (Engine.sign_epoch eng);
+      List.iter
+        (fun kind ->
+          match Engine.wal eng kind with
+          | None -> ()
+          | Some w ->
+              Printf.printf "  %-10s wal    %d records, %d bytes, checksum %08lx\n"
+                (Engine.backend_kind_to_string kind)
+                (Xmlac_reldb.Wal.records w)
+                (Xmlac_reldb.Wal.bytes_logged w)
+                (Xmlac_reldb.Wal.checksum w))
+        Engine.all_backend_kinds;
       Format.printf "@[<v 2>  metrics:@,%a@]@."
         Xmlac_util.Metrics.pp (Engine.metrics eng)
 
@@ -302,6 +319,103 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Show a policy's annotation plan: rewrite trace, SQL and XQuery lowerings, timings.")
     Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw $ requests)
+
+(* --- recover ------------------------------------------------------ *)
+
+let recover_run policy_path dtd_name doc_path update_expr kill_at kill_after
+    prob fault_seed =
+  let policy = Optimizer.optimize_policy (load_policy policy_path) in
+  let dtd = load_dtd dtd_name in
+  let doc = load_doc doc_path in
+  (match fault_seed with
+  | Some s -> Fault.set_seed (Int64.of_int s)
+  | None -> Option.iter Fault.set_seed (Fault.env_seed ()));
+  Fault.reset ();
+  let eng = Engine.create ~dtd ~policy doc in
+  let _ = Engine.annotate_all eng in
+  (* Arm only now, so the setup annotation runs to completion and the
+     crash lands inside the update epoch. *)
+  (match kill_at with
+  | Some pt -> Fault.arm pt (Fault.After kill_after)
+  | None -> Fault.arm_all ~prob);
+  let crashed =
+    match Engine.update eng update_expr with
+    | stats ->
+        Printf.printf "update survived (no trigger fired); %d rule(s) hit\n"
+          (List.concat_map
+             (fun (_, s) -> s.Reannotator.triggered)
+             stats
+          |> List.sort_uniq compare |> List.length);
+        false
+    | exception Fault.Crash site ->
+        Printf.printf "crashed at fault point %s (epoch %s left open)\n" site
+          (match Engine.open_epoch eng with
+          | Some n -> string_of_int n
+          | None -> "none");
+        true
+  in
+  if not crashed then Fault.reset ();
+  let r, recover_t = Timing.time (fun () -> Engine.recover eng) in
+  Printf.printf "recovery: direction %s, wal entries dropped %d, signs rolled back %d\n"
+    (match r.Engine.direction with
+    | `None -> "none"
+    | `Back -> "backward"
+    | `Forward -> "forward")
+    r.Engine.wal_dropped r.Engine.signs_rolled_back;
+  Printf.printf "sign epoch now %d; stores %s\n" (Engine.sign_epoch eng)
+    (if Engine.consistent eng then "in lockstep" else "DIVERGED");
+  (* The baseline recovery would be: redo the whole annotation from
+     scratch.  Time it on a twin so the speedup is visible. *)
+  let twin = Engine.create ~dtd ~policy doc in
+  let full_t = snd (Timing.time (fun () -> Engine.annotate_all twin)) in
+  Format.printf "recover took %a; full re-annotation baseline %a (%.1fx)@."
+    Timing.pp_seconds recover_t Timing.pp_seconds full_t
+    (full_t /. Float.max recover_t 1e-9);
+  if not (Engine.consistent eng) then exit 4
+
+let recover_cmd =
+  let policy_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY")
+  in
+  let dtd_name =
+    Arg.(required & opt (some string) None
+         & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let doc_path =
+    Arg.(required & opt (some file) None
+         & info [ "doc" ] ~doc:"Document to build the engine over.")
+  in
+  let update_expr =
+    Arg.(value & opt string "//*[3]"
+         & info [ "update" ] ~doc:"Delete update to crash mid-flight.")
+  in
+  let kill_at =
+    Arg.(value & opt (some string) None
+         & info [ "kill-at" ]
+             ~doc:"Fault point to arm (e.g. row.set_sign, wal.append); \
+                   default arms every point probabilistically.")
+  in
+  let kill_after =
+    Arg.(value & opt int 1
+         & info [ "kill-after" ] ~doc:"Crash on the Nth hit of --kill-at.")
+  in
+  let prob =
+    Arg.(value & opt float 0.05
+         & info [ "prob" ] ~doc:"Per-hit crash probability without --kill-at.")
+  in
+  let fault_seed =
+    Arg.(value & opt (some int) None
+         & info [ "fault-seed" ]
+             ~doc:"Seed for probabilistic triggers (overrides the \
+                   XMLAC_FAULT_SEED environment variable).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Crash a mutating epoch at a deterministic fault point, then run \
+             epoch recovery and report its cost against full re-annotation \
+             (exit code 4 if the stores end up diverged).")
+    Term.(const recover_run $ policy_path $ dtd_name $ doc_path $ update_expr
+          $ kill_at $ kill_after $ prob $ fault_seed)
 
 (* --- view --------------------------------------------------------- *)
 
@@ -365,4 +479,5 @@ let () =
           [
             generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
             query_cmd; update_cmd; depend_cmd; explain_cmd; view_cmd; cam_cmd;
+            recover_cmd;
           ]))

@@ -1,4 +1,5 @@
 module Tree = Xmlac_xml.Tree
+module Fault = Xmlac_util.Fault
 
 type t = {
   name : string;
@@ -7,6 +8,7 @@ type t = {
   set_sign_ids : int list -> Tree.sign -> int;
   reset_signs : default:Tree.sign -> unit;
   sign_of : int -> Tree.sign option;
+  restore_sign : int -> Tree.sign option -> unit;
   delete_update : Xmlac_xpath.Ast.expr -> int;
   has_node : int -> bool;
   live_ids : unit -> int list;
@@ -18,3 +20,80 @@ let effective_sign t ~default id =
 
 let accessible_ids t ~default =
   List.filter (fun id -> effective_sign t ~default id = Tree.Plus) (t.live_ids ())
+
+(* Fault wrapper: sign stamping loops node by node with a fault point
+   between writes, so a counted trigger kills the simulated process
+   with a genuinely partial multi-row update — the paper's
+   inconsistent-materialization hazard made reproducible. *)
+let with_faults ~prefix b =
+  let pt op = Fault.point (prefix ^ "." ^ op) in
+  {
+    b with
+    set_sign_ids =
+      (fun ids sign ->
+        List.fold_left
+          (fun acc id ->
+            pt "set_sign";
+            acc + b.set_sign_ids [ id ] sign)
+          0 ids);
+    reset_signs =
+      (fun ~default ->
+        pt "reset_signs";
+        b.reset_signs ~default);
+    delete_update =
+      (fun e ->
+        pt "delete";
+        b.delete_update e);
+  }
+
+type journal = {
+  mutable active : bool;
+  mutable entries : (int * Tree.sign option) list; (* newest first *)
+  mutable restore : (int -> Tree.sign option -> unit) option;
+}
+
+let journal () = { active = false; entries = []; restore = None }
+
+let journal_begin j =
+  j.active <- true;
+  j.entries <- []
+
+let journal_stop j =
+  j.active <- false;
+  j.entries <- []
+
+let journal_entries j = List.length j.entries
+
+let journaled j b =
+  j.restore <- Some b.restore_sign;
+  let record id =
+    if j.active && b.has_node id then
+      j.entries <- (id, b.sign_of id) :: j.entries
+  in
+  {
+    b with
+    set_sign_ids =
+      (fun ids sign ->
+        List.fold_left
+          (fun acc id ->
+            record id;
+            acc + b.set_sign_ids [ id ] sign)
+          0 ids);
+    reset_signs =
+      (fun ~default ->
+        if j.active then List.iter record (b.live_ids ());
+        b.reset_signs ~default);
+  }
+
+let rollback j =
+  match j.restore with
+  | None ->
+      journal_stop j;
+      0
+  | Some restore ->
+      let n = List.length j.entries in
+      (* Newest first: an id journaled twice is finally restored to its
+         oldest (pre-epoch) value. *)
+      List.iter (fun (id, s) -> restore id s) j.entries;
+      journal_stop j;
+      n

@@ -4,7 +4,19 @@
     through exactly these operations; {!Rel_backend} routes them
     through SQL over the shredded database, {!Xml_backend} through
     XPath over the native tree.  Node identity is the universal id in
-    both. *)
+    both.
+
+    {2 Crash safety}
+
+    The engine's sign epochs ({!Engine.recover}) lean on two wrappers
+    defined here.  {!with_faults} threads every mutating operation
+    through {!Xmlac_util.Fault} points — per {e node} for sign stamps,
+    so a counted trigger can kill the process in the middle of a
+    multi-row UPDATE.  {!journaled} records each overwritten sign (the
+    undo journal the native store needs, since it has no WAL); rolling
+    a journal back restores the exact pre-epoch sign state, including
+    the unannotated [None] of the native representation, via the
+    {!t.restore_sign} primitive. *)
 
 type t = {
   name : string;  (** e.g. "xquery", "row-sql", "column-sql". *)
@@ -24,6 +36,11 @@ type t = {
   sign_of : int -> Xmlac_xml.Tree.sign option;
       (** [None] when the node carries no explicit annotation (native
           store) or does not exist. *)
+  restore_sign : int -> Xmlac_xml.Tree.sign option -> unit;
+      (** Undo-journal primitive: writes back a sign previously read
+          with [sign_of] — including [None], which natively clears the
+          annotation.  No-op on a missing node; relationally [None] is
+          unrepresentable for a live row and is skipped. *)
   delete_update : Xmlac_xpath.Ast.expr -> int;
       (** Applies a delete update: removes the selected nodes and their
           subtrees; returns the number of subtree roots removed. *)
@@ -40,3 +57,43 @@ val accessible_ids : t -> default:Xmlac_xml.Tree.sign -> int list
 
 val effective_sign : t -> default:Xmlac_xml.Tree.sign -> int -> Xmlac_xml.Tree.sign
 (** Explicit sign if present, the default otherwise. *)
+
+(** {1 Fault injection} *)
+
+val with_faults : prefix:string -> t -> t
+(** Threads the mutating operations through fault points named
+    [<prefix>.set_sign] (hit once {e per node} stamped, so counted
+    triggers land mid-write), [<prefix>.reset_signs] and
+    [<prefix>.delete].  Read operations pass through untouched. *)
+
+(** {1 Sign undo journal} *)
+
+type journal
+(** Per-backend undo journal for one sign epoch: every sign overwrite
+    performed through a {!journaled} wrapper while the journal is
+    active records the prior value, so {!rollback} can restore the
+    pre-epoch sign state after a crash. *)
+
+val journal : unit -> journal
+(** A fresh, inactive journal. *)
+
+val journaled : journal -> t -> t
+(** Wraps the backend so [set_sign_ids] and [reset_signs] record each
+    overwritten [(id, prior sign)] into the journal while it is
+    active.  Compose {e inside} {!with_faults} so a write interrupted
+    by a fault is neither journaled nor applied. *)
+
+val journal_begin : journal -> unit
+(** Start recording (clears previous entries). *)
+
+val journal_stop : journal -> unit
+(** Stop recording and discard entries — the commit path. *)
+
+val journal_entries : journal -> int
+(** Recorded overwrites (an id written twice counts twice). *)
+
+val rollback : journal -> int
+(** Restores every journaled sign, newest first (so an id written
+    twice ends at its original value), then deactivates the journal.
+    Returns the number of restores performed.  Requires the journal to
+    have been attached with {!journaled}. *)

@@ -2,7 +2,9 @@ module Tree = Xmlac_xml.Tree
 module Sg = Xmlac_xml.Schema_graph
 module Db = Xmlac_reldb.Database
 module Table = Xmlac_reldb.Table
+module Wal = Xmlac_reldb.Wal
 module Metrics = Xmlac_util.Metrics
+module Fault = Xmlac_util.Fault
 
 type backend_kind = Native | Row_sql | Column_sql
 
@@ -11,9 +13,44 @@ let backend_kind_to_string = function
   | Row_sql -> "row-sql"
   | Column_sql -> "column-sql"
 
+let fault_prefix = function
+  | Native -> "native"
+  | Row_sql -> "row"
+  | Column_sql -> "column"
+
 let all_backend_kinds = [ Native; Row_sql; Column_sql ]
 
 type trigger_mode = Paper_mode | Overlap_mode
+
+(* The in-flight mutating operation of an open sign epoch — everything
+   recovery needs to finish (or abandon) it after a simulated crash. *)
+type op =
+  | Op_annotate of backend_kind
+  | Op_update of string
+  | Op_insert of { at : string; fragment : Tree.t }
+
+type open_op = {
+  num : int;  (** The epoch number being attempted. *)
+  op : op;
+  saved_annotated : backend_kind list;
+  saved_divergent : bool;
+  mutable prepared : (backend_kind * Reannotator.prepared) list;
+      (** Pre-mutation repair state, stashed per backend just before
+          its structural apply — recovery's roll-forward input. *)
+  mutable applied : backend_kind list;
+      (** Backends whose structural mutation completed. *)
+  mutable new_roots : Tree.node list;  (** Grafted roots (insert only). *)
+}
+
+type direction = [ `None | `Back | `Forward ]
+
+type recovery = {
+  recovered_epoch : int option;
+  direction : direction;
+  wal_dropped : int;
+  signs_rolled_back : int;
+  repaired : backend_kind list;
+}
 
 type t = {
   policy : Policy.t;
@@ -26,9 +63,12 @@ type t = {
   doc : Tree.t;
   row_db : Db.t;
   col_db : Db.t;
+  wal_row : Wal.t;
+  wal_col : Wal.t;
   native : Backend.t;
   row : Backend.t;
   column : Backend.t;
+  journals : (backend_kind * Backend.journal) list;
   (* The request fast lane: a CAM over the native store's signs,
      maintained incrementally, plus a bounded per-(backend, query)
      decision cache invalidated by bumping [epoch].  [annotated] lists
@@ -40,6 +80,11 @@ type t = {
   mutable epoch : int;
   mutable annotated : backend_kind list;
   mutable divergent : bool;
+  (* Sign epochs: [sign_epoch] is the last committed epoch (monotone,
+     never reused downward); [open_op] is the uncommitted one a crash
+     may have left behind. *)
+  mutable sign_epoch : int;
+  mutable open_op : open_op option;
 }
 
 let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
@@ -59,10 +104,22 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
   let col_db = Db.create Table.Column in
   let _ = Xmlac_shrex.Shred.load mapping ~default_sign row_db doc in
   let _ = Xmlac_shrex.Shred.load mapping ~default_sign col_db doc in
+  (* The bulk load above is the base image (checkpoint); journaling
+     starts with the first mutating epoch, as with a real bulk load
+     that bypasses the WAL. *)
+  let wal_row = Wal.create () and wal_col = Wal.create () in
+  Db.set_wal row_db (Some wal_row);
+  Db.set_wal col_db (Some wal_col);
   let depend_mode =
     match mode with
     | Paper_mode -> Depend.Paper
     | Overlap_mode -> Depend.Overlap sg
+  in
+  let journals = List.map (fun k -> (k, Backend.journal ())) all_backend_kinds in
+  let wrap kind base =
+    Backend.with_faults
+      ~prefix:(fault_prefix kind)
+      (Backend.journaled (List.assoc kind journals) base)
   in
   {
     policy;
@@ -75,15 +132,20 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
     doc = native_doc;
     row_db;
     col_db;
-    native = Xml_backend.make native_doc;
-    row = Rel_backend.make mapping row_db;
-    column = Rel_backend.make mapping col_db;
+    wal_row;
+    wal_col;
+    native = wrap Native (Xml_backend.make native_doc);
+    row = wrap Row_sql (Rel_backend.make mapping row_db);
+    column = wrap Column_sql (Rel_backend.make mapping col_db);
+    journals;
     metrics = Metrics.create ();
     cache = Decision_cache.create ?capacity:cache_capacity ();
     cam = Cam.build native_doc ~default:(Policy.ds policy);
     epoch = 0;
     annotated = [];
     divergent = false;
+    sign_epoch = 0;
+    open_op = None;
   }
 
 let policy t = t.policy
@@ -96,6 +158,13 @@ let plan t = t.plan
 let metrics t = t.metrics
 let cam t = t.cam
 let epoch t = t.epoch
+let sign_epoch t = t.sign_epoch
+let open_epoch t = Option.map (fun o -> o.num) t.open_op
+
+let wal t = function
+  | Native -> None
+  | Row_sql -> Some t.wal_row
+  | Column_sql -> Some t.wal_col
 
 let explain ?(with_doc = true) t =
   Plan.explain ~schema:t.sg ~mapping:t.mapping
@@ -131,6 +200,7 @@ let rebuild_cam t =
    report (plus the roots of freshly grafted subtrees); any failure
    falls back to a full rebuild, counted so the bench can see it. *)
 let maintain_cam t ~changed ~roots =
+  Fault.point "cam.repair";
   Metrics.time t.metrics "cam.maintain" (fun () ->
       match
         let touched = Cam.apply_changes t.cam t.doc ~changed in
@@ -145,6 +215,7 @@ let maintain_cam t ~changed ~roots =
       | touched, purged ->
           Metrics.add t.metrics "cam.touched" touched;
           Metrics.add t.metrics "cam.purged" purged
+      | exception (Fault.Crash _ as e) -> raise e
       | exception _ -> rebuild_cam t)
 
 let cam_check t =
@@ -163,13 +234,56 @@ let refresh t =
   t.annotated <- [];
   rebuild_cam t
 
+(* --- sign epochs --------------------------------------------------- *)
+
+(* Every mutating operation runs inside a sign epoch: begin markers hit
+   both relational WALs and arm the per-backend undo journals, and only
+   [commit_op] advances [sign_epoch].  A crash (Fault.Crash escaping
+   the operation) leaves [open_op] set; {!recover} resolves it. *)
+let begin_op t op =
+  (match t.open_op with
+  | Some o ->
+      invalid_arg
+        (Printf.sprintf
+           "Engine: epoch %d is open and uncommitted (crashed?); run recover \
+            before mutating again"
+           o.num)
+  | None -> ());
+  let num = t.sign_epoch + 1 in
+  Wal.begin_epoch t.wal_row num;
+  Wal.begin_epoch t.wal_col num;
+  let o =
+    {
+      num;
+      op;
+      saved_annotated = t.annotated;
+      saved_divergent = t.divergent;
+      prepared = [];
+      applied = [];
+      new_roots = [];
+    }
+  in
+  t.open_op <- Some o;
+  List.iter (fun (_, j) -> Backend.journal_begin j) t.journals;
+  o
+
+let commit_op t o =
+  Wal.commit_epoch t.wal_row o.num;
+  Wal.commit_epoch t.wal_col o.num;
+  List.iter (fun (_, j) -> Backend.journal_stop j) t.journals;
+  t.sign_epoch <- o.num;
+  t.open_op <- None;
+  Metrics.incr t.metrics "epoch.commits"
+
 let annotate t kind =
+  let o = begin_op t (Op_annotate kind) in
   let stats = Annotator.annotate_with_plan (backend t kind) t.plan in
   bump_epoch t;
   if not (List.mem kind t.annotated) then t.annotated <- kind :: t.annotated;
   if List.length t.annotated = 3 then t.divergent <- false;
   if kind = Native then
     t.cam <- Cam.build t.doc ~default:(Policy.ds t.policy);
+  commit_op t o;
   stats
 
 let annotate_all t =
@@ -223,19 +337,38 @@ let request_direct t kind query =
 
 let update t query =
   let expr = Xmlac_xpath.Parser.parse_exn query in
+  let o = begin_op t (Op_update query) in
   let stats =
     List.map
       (fun k ->
-        ( k,
-          Reannotator.reannotate ~schema:t.sg (backend t k) t.depend
-            ~update:expr ))
+        let b = backend t k in
+        let prepared =
+          Reannotator.prepare ~schema:t.sg b t.depend ~touched:[ expr ]
+        in
+        o.prepared <- (k, prepared) :: o.prepared;
+        let deleted_roots = b.Backend.delete_update expr in
+        o.applied <- k :: o.applied;
+        (k, Reannotator.finish ~schema:t.sg b t.depend prepared ~deleted_roots))
       all_backend_kinds
   in
   bump_epoch t;
   (match List.assoc_opt Native stats with
   | Some s -> maintain_cam t ~changed:s.Reannotator.changed ~roots:[]
   | None -> rebuild_cam t);
+  commit_op t o;
   stats
+
+(* The insertion-point expressions the trigger treats as the update:
+   the grafted roots and everything below them. *)
+let insert_touched ~at_expr ~frag_root =
+  let root_path =
+    Xmlac_xpath.Ast.
+      { steps = at_expr.steps @ [ step Child (Name frag_root) ] }
+  in
+  let subtree_path =
+    Xmlac_xpath.Ast.{ steps = root_path.steps @ [ step Descendant Wildcard ] }
+  in
+  [ root_path; subtree_path ]
 
 (* Insert updates: graft into the native store first, then mirror the
    freshly created subtrees — same universal ids — into both relational
@@ -243,36 +376,34 @@ let update t query =
 let insert t ~at ~fragment =
   let at_expr = Xmlac_xpath.Parser.parse_exn at in
   let frag_root = (Tree.root fragment).Tree.name in
-  (* The grafted roots and everything below them. *)
-  let touched =
-    let root_path =
-      Xmlac_xpath.Ast.{ steps = at_expr.steps @ [ step Child (Name frag_root) ] }
-    in
-    let subtree_path =
-      Xmlac_xpath.Ast.{ steps = root_path.steps @ [ step Descendant Wildcard ] }
-    in
-    [ root_path; subtree_path ]
-  in
+  let touched = insert_touched ~at_expr ~frag_root in
   let default_sign = Rule.effect_to_string (Policy.ds t.policy) in
-  let new_roots = ref [] in
+  let o = begin_op t (Op_insert { at; fragment = Tree.copy fragment }) in
   let native_stats =
-    Reannotator.repair ~schema:t.sg t.native t.depend ~touched
-      ~apply:(fun () ->
-        let roots = Xmlac_xmldb.Update.insert_nodes t.doc ~at:at_expr ~fragment in
-        new_roots := roots;
-        List.length roots)
+    let prepared =
+      Reannotator.prepare ~schema:t.sg t.native t.depend ~touched
+    in
+    o.prepared <- (Native, prepared) :: o.prepared;
+    Fault.point "native.insert";
+    let roots = Xmlac_xmldb.Update.insert_nodes t.doc ~at:at_expr ~fragment in
+    o.new_roots <- roots;
+    o.applied <- Native :: o.applied;
+    Reannotator.finish ~schema:t.sg t.native t.depend prepared
+      ~deleted_roots:(List.length roots)
   in
-  let rel kind backend db =
+  let rel kind b db =
+    let prepared = Reannotator.prepare ~schema:t.sg b t.depend ~touched in
+    o.prepared <- (kind, prepared) :: o.prepared;
+    Fault.point (fault_prefix kind ^ ".insert");
+    List.iter
+      (fun root ->
+        ignore
+          (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign db root))
+      o.new_roots;
+    o.applied <- kind :: o.applied;
     ( kind,
-      Reannotator.repair ~schema:t.sg backend t.depend ~touched
-        ~apply:(fun () ->
-          List.iter
-            (fun root ->
-              ignore
-                (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign db
-                   root))
-            !new_roots;
-          List.length !new_roots) )
+      Reannotator.finish ~schema:t.sg b t.depend prepared
+        ~deleted_roots:(List.length o.new_roots) )
   in
   let stats =
     [ (Native, native_stats); rel Row_sql t.row t.row_db;
@@ -280,8 +411,127 @@ let insert t ~at ~fragment =
   in
   bump_epoch t;
   maintain_cam t ~changed:native_stats.Reannotator.changed
-    ~roots:(List.map (fun (n : Tree.node) -> n.Tree.id) !new_roots);
+    ~roots:(List.map (fun (n : Tree.node) -> n.Tree.id) o.new_roots);
+  commit_op t o;
   stats
+
+(* --- recovery ------------------------------------------------------ *)
+
+(* Resume a structural operation: for each backend, take the stashed
+   pre-mutation repair state (or compute it fresh while the backend is
+   still untouched), apply the mutation if the crash preceded it, and
+   re-run the repair's sign phase.  Partial sign writes of the crashed
+   attempt were already rolled back, so [finish] recomputes them from
+   the same inputs the uninterrupted operation would have used. *)
+let roll_forward t o =
+  let resume kind ~touched ~apply =
+    let b = backend t kind in
+    let prepared =
+      match List.assoc_opt kind o.prepared with
+      | Some p -> p
+      | None -> Reannotator.prepare ~schema:t.sg b t.depend ~touched
+    in
+    let deleted_roots = if List.mem kind o.applied then 0 else apply b in
+    ignore
+      (Reannotator.finish ~schema:t.sg b t.depend prepared ~deleted_roots)
+  in
+  match o.op with
+  | Op_annotate _ -> assert false
+  | Op_update query ->
+      let expr = Xmlac_xpath.Parser.parse_exn query in
+      List.iter
+        (fun k ->
+          resume k ~touched:[ expr ] ~apply:(fun b ->
+              b.Backend.delete_update expr))
+        all_backend_kinds
+  | Op_insert { at; fragment } ->
+      let at_expr = Xmlac_xpath.Parser.parse_exn at in
+      let frag_root = (Tree.root fragment).Tree.name in
+      let touched = insert_touched ~at_expr ~frag_root in
+      let default_sign = Rule.effect_to_string (Policy.ds t.policy) in
+      (* Native first: the relational mirrors need the grafted roots. *)
+      resume Native ~touched ~apply:(fun _ ->
+          let roots =
+            Xmlac_xmldb.Update.insert_nodes t.doc ~at:at_expr ~fragment
+          in
+          o.new_roots <- roots;
+          List.length roots);
+      let rel kind db =
+        resume kind ~touched ~apply:(fun _ ->
+            List.iter
+              (fun root ->
+                ignore
+                  (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign db
+                     root))
+              o.new_roots;
+            List.length o.new_roots)
+      in
+      rel Row_sql t.row_db;
+      rel Column_sql t.col_db
+
+let recover t =
+  (* The simulated restart: clear the kill and every armed trigger
+     before touching any store, as a fresh process would start clean. *)
+  Fault.recover ();
+  let wal_dropped = Wal.recover t.wal_row + Wal.recover t.wal_col in
+  Metrics.incr t.metrics "recovery.runs";
+  Metrics.add t.metrics "recovery.wal_dropped" wal_dropped;
+  match t.open_op with
+  | None ->
+      (* Nothing was in flight: the crash (if any) hit outside an
+         epoch and left no partial state. *)
+      {
+        recovered_epoch = None;
+        direction = `None;
+        wal_dropped;
+        signs_rolled_back = 0;
+        repaired = [];
+      }
+  | Some o ->
+      (* Re-frame the epoch: recovery's own writes (compensation or
+         roll-forward) are journaled and committed under the same
+         number, so the WAL never ends on an uncommitted tail. *)
+      Wal.begin_epoch t.wal_row o.num;
+      Wal.begin_epoch t.wal_col o.num;
+      (* Undo the crashed attempt's partial sign writes first; the
+         journals were recording since [begin_op]. *)
+      let signs_rolled_back =
+        List.fold_left (fun acc (_, j) -> acc + Backend.rollback j) 0 t.journals
+      in
+      let direction, repaired =
+        match o.op with
+        | Op_annotate _ ->
+            (* Sign-only operation: the rollback above already restored
+               the pre-epoch materialization on every store. *)
+            (`Back, [])
+        | Op_update _ | Op_insert _ ->
+            (* Structural operation: the mutation may have reached some
+               stores; re-applying it everywhere and re-running the
+               repair converges all three on the post-operation
+               state. *)
+            roll_forward t o;
+            (`Forward, all_backend_kinds)
+      in
+      t.annotated <- o.saved_annotated;
+      t.divergent <- o.saved_divergent;
+      Wal.commit_epoch t.wal_row o.num;
+      Wal.commit_epoch t.wal_col o.num;
+      (* The epoch number is consumed either way — the counter never
+         runs backwards, even across an aborted epoch. *)
+      t.sign_epoch <- o.num;
+      t.open_op <- None;
+      List.iter (fun (_, j) -> Backend.journal_stop j) t.journals;
+      bump_epoch t;
+      Decision_cache.clear t.cache;
+      rebuild_cam t;
+      Metrics.add t.metrics "recovery.signs_rolled_back" signs_rolled_back;
+      {
+        recovered_epoch = Some o.num;
+        direction;
+        wal_dropped;
+        signs_rolled_back;
+        repaired;
+      }
 
 let accessible t kind =
   Backend.accessible_ids (backend t kind) ~default:(Policy.ds t.policy)

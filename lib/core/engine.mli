@@ -24,7 +24,30 @@
     against a fresh build).  The whole path is instrumented through
     {!Xmlac_util.Metrics} — cache hits/misses, CAM lookups and touched
     entries, per-stage timings — surfaced by [xmlacctl explain
-    --request] and the [exp_requester] bench. *)
+    --request] and the [exp_requester] bench.
+
+    {2 Sign epochs and crash recovery}
+
+    Every mutating operation — {!annotate}, {!update}, {!insert} — runs
+    as an atomic {e sign epoch}: begin markers are framed into both
+    relational WALs ({!Xmlac_reldb.Wal.begin_epoch}), per-backend undo
+    journals record the previous sign of every node written
+    ({!Backend.journaled}), and only a successful operation commits the
+    epoch and advances {!sign_epoch}.  The stores' write paths are
+    threaded through deterministic fault points
+    ({!Xmlac_util.Fault.point}: [native.set_sign], [row.set_sign],
+    [wal.append], [cam.repair], …); when an armed point fires, the
+    resulting {!Xmlac_util.Fault.Crash} escapes the operation and
+    leaves the epoch open — a simulated kill.  {!recover} then plays
+    the restart: truncate both WALs to their last committed epoch, roll
+    every backend's partial sign writes back through the journals, and
+    either stop there (sign-only operations land on the pre-operation
+    materialization) or re-apply the structural mutation and re-run the
+    repair from the stashed {!Reannotator.prepared} state (structural
+    operations land on the post-operation materialization).  Either
+    way the stores are back in lockstep, the CAM and decision cache are
+    rebuilt coherently, and the epoch counter never runs backwards —
+    an aborted epoch's number is consumed. *)
 
 type backend_kind = Native | Row_sql | Column_sql
 
@@ -143,3 +166,52 @@ val refresh : t -> unit
     decision cache and rebuild the CAM.  Call after mutating a
     backend's signs behind the engine's back (e.g. driving
     {!Annotator} directly on {!backend}). *)
+
+(** {1 Sign epochs and crash recovery} *)
+
+val sign_epoch : t -> int
+(** The last {e committed} sign epoch.  Starts at [0]; every committed
+    mutating operation advances it by one, and {!recover} consumes the
+    open epoch's number — the counter is strictly monotone and never
+    reused. *)
+
+val open_epoch : t -> int option
+(** The uncommitted epoch a crash left behind, if any.  While it is
+    set, every mutating entry point raises [Invalid_argument] — run
+    {!recover} first. *)
+
+val wal : t -> backend_kind -> Xmlac_reldb.Wal.t option
+(** The write-ahead log attached to a relational store ([None] for
+    {!Native}, which is journaled in memory instead).  Exposed for the
+    durability tests and [xmlacctl explain]. *)
+
+type direction = [ `None | `Back | `Forward ]
+
+type recovery = {
+  recovered_epoch : int option;
+      (** The epoch that was open, or [None] if nothing was in
+          flight. *)
+  direction : direction;
+      (** [`Back]: a sign-only operation was rolled back to the
+          pre-epoch materialization.  [`Forward]: a structural
+          operation was re-applied and its repair re-run.  [`None]:
+          there was nothing to do. *)
+  wal_dropped : int;  (** WAL entries truncated across both stores. *)
+  signs_rolled_back : int;
+      (** Journal entries replayed (partial writes undone). *)
+  repaired : backend_kind list;
+      (** The backends whose repair was re-driven (roll-forward
+          only). *)
+}
+
+val recover : t -> recovery
+(** The simulated restart after a {!Xmlac_util.Fault.Crash}: clears
+    the fault registry's kill state and every armed trigger
+    ({!Xmlac_util.Fault.recover}), truncates both WALs to their last
+    committed epoch ({!Xmlac_reldb.Wal.recover}), rolls partial sign
+    writes back through the undo journals, and resolves the open epoch
+    as described in the module preamble — backwards for {!annotate},
+    forwards for {!update} / {!insert}.  Restores lockstep tracking,
+    bumps the request {!epoch}, clears the decision cache and rebuilds
+    the CAM, so the fast lane is coherent with the recovered signs.
+    Safe to call when nothing crashed (reports [`None]). *)

@@ -18,16 +18,25 @@ let scope_union (backend : Backend.t) rules =
         (backend.Backend.eval_ids r.Rule.resource))
     Plan.Ids.empty rules
 
-(* The generic repair cycle: [touched] locates the nodes the mutation
-   inserts or deletes (the update expression of Section 5.3), [apply]
-   performs it and reports how many subtree roots it touched. *)
-let repair ?schema (backend : Backend.t) depend ~touched ~apply =
-  let policy = Depend.policy depend in
+type prepared = {
+  trig : Trigger.result;
+  rules : Rule.t list;
+  pre : Plan.Ids.t;
+}
+
+(* The pre-mutation half: triggered rules and their scopes before the
+   update — nodes that may fall out of scope.  Side-effect free, so the
+   engine can stash it for crash recovery. *)
+let prepare ?schema (backend : Backend.t) depend ~touched =
   let trig = Trigger.run_all ?schema depend ~updates:touched in
   let rules = Trigger.triggered_rules depend trig in
-  (* Scopes before the update: nodes that may fall out of scope. *)
-  let pre = scope_union backend rules in
-  let deleted_roots = apply () in
+  { trig; rules; pre = scope_union backend rules }
+
+(* The post-mutation half; re-runnable by recovery once partial sign
+   writes of a crashed attempt have been rolled back. *)
+let finish ?schema (backend : Backend.t) depend { trig; rules; pre }
+    ~deleted_roots =
+  let policy = Depend.policy depend in
   (* Scopes after: nodes that may have entered scope. *)
   let post = scope_union backend rules in
   (* Pre-update scopes may reference deleted nodes; restrict the
@@ -67,6 +76,14 @@ let repair ?schema (backend : Backend.t) depend ~touched ~apply =
     marked;
     changed = to_default @ to_mark;
   }
+
+(* The generic repair cycle: [touched] locates the nodes the mutation
+   inserts or deletes (the update expression of Section 5.3), [apply]
+   performs it and reports how many subtree roots it touched. *)
+let repair ?schema (backend : Backend.t) depend ~touched ~apply =
+  let p = prepare ?schema backend depend ~touched in
+  let deleted_roots = apply () in
+  finish ?schema backend depend p ~deleted_roots
 
 let reannotate ?schema backend depend ~update =
   repair ?schema backend depend ~touched:[ update ]

@@ -29,6 +29,36 @@ type stats = {
           themselves incrementally instead of rebuilding. *)
 }
 
+type prepared
+(** The pre-mutation half of a repair: the triggered rules and the
+    union of their scopes {e before} the update.  Computing it is
+    side-effect free, so the engine stashes it in its open-epoch
+    record — after a crash between the mutation and the sign repair,
+    {!finish} can be re-run from the stashed value even though the
+    pre-update document no longer exists ({!Engine.recover}'s
+    roll-forward path). *)
+
+val prepare :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  Backend.t ->
+  Depend.t ->
+  touched:Xmlac_xpath.Ast.expr list ->
+  prepared
+(** Runs the trigger and evaluates the pre-update scopes.  Must be
+    called {e before} the mutation is applied to this backend. *)
+
+val finish :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  Backend.t ->
+  Depend.t ->
+  prepared ->
+  deleted_roots:int ->
+  stats
+(** The post-mutation half: post-update scopes, the restricted
+    annotation plan, and the sign writes.  Idempotent given the same
+    [prepared] and document state — recovery re-runs it after rolling
+    back any partial sign writes of a crashed attempt. *)
+
 val reannotate :
   ?schema:Xmlac_xml.Schema_graph.t ->
   Backend.t ->

@@ -80,6 +80,13 @@ let make mapping db : Backend.t =
                 (match Table.get table ~row ~column with
                 | Value.Str s -> Tree.sign_of_string s
                 | _ -> None)));
+    restore_sign =
+      (fun id s ->
+        (* A live tuple always carries a sign value, so the journal
+           never records [None] for it; nothing to restore then. *)
+        match s with
+        | None -> ()
+        | Some sign -> ignore (set_sign_ids mapping db [ id ] sign));
     delete_update =
       (fun e ->
         let ids = Translate.eval_ids mapping db e in

@@ -31,6 +31,14 @@ let make doc : Backend.t =
         match Tree.find doc id with
         | Some n -> n.Tree.sign
         | None -> None);
+    restore_sign =
+      (fun id s ->
+        (* The undo-journal primitive: unlike [set_sign_ids] this can
+           write back [None], the unannotated state the native store's
+           compact representation relies on. *)
+        match Tree.find doc id with
+        | Some n -> Tree.set_sign n s
+        | None -> ());
     delete_update = (fun e -> Xmlac_xmldb.Update.delete doc e);
     has_node = (fun id -> Tree.find doc id <> None);
     live_ids =

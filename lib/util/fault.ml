@@ -1,0 +1,85 @@
+exception Crash of string
+
+let seed_env_var = "XMLAC_FAULT_SEED"
+
+let env_seed () =
+  match Sys.getenv_opt seed_env_var with
+  | None -> None
+  | Some s -> Int64.of_string_opt (String.trim s)
+
+type trigger = After of int | Prob of float
+
+(* Armed state: counted triggers carry their remaining hits so [After n]
+   fires exactly on the n-th hit after arming. *)
+type armed = Count of int ref | P of float
+
+let rng = ref (Prng.create ~seed:(Option.value (env_seed ()) ~default:1L))
+let set_seed seed = rng := Prng.create ~seed
+
+(* name -> lifetime hit count; names are never forgotten, so tests can
+   enumerate every point the workload crossed. *)
+let registry : (string, int) Hashtbl.t = Hashtbl.create 64
+let armed_points : (string, armed) Hashtbl.t = Hashtbl.create 16
+let all_prob = ref None
+let dead = ref None (* Some site once a trigger fired *)
+
+let arm name = function
+  | After n ->
+      if n < 1 then invalid_arg "Fault.arm: After n needs n >= 1";
+      Hashtbl.replace armed_points name (Count (ref n))
+  | Prob p ->
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg "Fault.arm: Prob p needs 0 <= p <= 1";
+      Hashtbl.replace armed_points name (P p)
+
+let arm_all ~prob =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg "Fault.arm_all: prob must be in [0, 1]";
+  all_prob := Some prob
+
+let disarm name = Hashtbl.remove armed_points name
+
+let disarm_all () =
+  Hashtbl.reset armed_points;
+  all_prob := None
+
+let killed () = !dead <> None
+let crash_site () = !dead
+
+let fire name =
+  dead := Some name;
+  raise (Crash name)
+
+let point name =
+  (match !dead with
+  | Some site ->
+      (* The process is dead: nothing past the crash site may run. *)
+      raise (Crash site)
+  | None -> ());
+  Hashtbl.replace registry name
+    (1 + Option.value (Hashtbl.find_opt registry name) ~default:0);
+  match Hashtbl.find_opt armed_points name with
+  | Some (Count r) ->
+      decr r;
+      if !r <= 0 then fire name
+  | Some (P p) -> if Prng.bernoulli !rng p then fire name
+  | None -> (
+      match !all_prob with
+      | Some p when Prng.bernoulli !rng p -> fire name
+      | _ -> ())
+
+let recover () =
+  dead := None;
+  disarm_all ()
+
+let reset () =
+  recover ();
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
+  List.iter (fun name -> Hashtbl.replace registry name 0) names
+
+let registered () =
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) registry [])
+
+let hits name = Option.value (Hashtbl.find_opt registry name) ~default:0
+let total_hits () = Hashtbl.fold (fun _ n acc -> acc + n) registry 0

@@ -1,0 +1,82 @@
+(** Deterministic fault injection.
+
+    Crash-safety claims are only as good as the crashes they were
+    tested against.  This module gives the whole system one
+    seed-addressable registry of {e fault points}: a mutating code path
+    calls {!point} with a stable name ("wal.append", "row.set_sign",
+    "cam.repair", ...), which is a no-op in production but — when the
+    point is {e armed} — raises {!Crash} there, simulating the process
+    dying mid-operation.  Tests and the [exp_recovery] bench arm points
+    with counted triggers (die on the [n]-th hit, which reaches the
+    middle of a multi-row sign write) or probabilistic ones (die with
+    probability [p], PRNG-seeded so a failing run is replayable from
+    its seed).
+
+    After a crash fires, the registry is {e killed}: durable appends
+    must refuse to proceed ({!killed} is checked by [Wal.log]) and
+    every further {!point} call re-raises, so a test cannot silently
+    write past its own kill.  [Engine.recover] — the simulated process
+    restart — calls {!recover} to clear the flag and disarm all
+    triggers before repairing the stores.
+
+    The state is global (one "process", one crash), which is exactly
+    the model being simulated; tests that arm faults must
+    {!recover}/{!reset} between cases. *)
+
+exception Crash of string
+(** Raised by {!point}, carrying the fault point's name. *)
+
+val seed_env_var : string
+(** ["XMLAC_FAULT_SEED"] — read once at startup; when set, seeds the
+    probabilistic triggers (the CI fault-matrix job sets it). *)
+
+val env_seed : unit -> int64 option
+(** The parsed value of {!seed_env_var}, if present and numeric. *)
+
+val set_seed : int64 -> unit
+(** Reseed the probabilistic-trigger PRNG; equal seeds give equal
+    crash schedules for equal [point] call sequences. *)
+
+type trigger =
+  | After of int  (** Crash on the [n]-th hit of the point (1-based). *)
+  | Prob of float  (** Crash each hit with probability [p]. *)
+
+val arm : string -> trigger -> unit
+(** Arm one named point.  Re-arming replaces the previous trigger. *)
+
+val arm_all : prob:float -> unit
+(** Arm {e every} point — including ones not yet registered — with a
+    probabilistic trigger; individually armed points keep their own. *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+(** Also clears the {!arm_all} probability. *)
+
+val point : string -> unit
+(** Registers the point's name and counts the hit.  Raises {!Crash}
+    when the point's trigger fires, or — once {!killed} — immediately,
+    naming the original crash site. *)
+
+val killed : unit -> bool
+(** A crash has fired and {!recover} has not yet run. *)
+
+val crash_site : unit -> string option
+(** Name of the point whose trigger fired, while {!killed}. *)
+
+val recover : unit -> unit
+(** The simulated restart: clears the killed flag and disarms every
+    trigger (registry and hit counts survive, like a process
+    restarting over the same binary). *)
+
+val reset : unit -> unit
+(** {!recover} plus zeroing all hit counters; point names stay
+    registered so coverage enumeration survives. *)
+
+val registered : unit -> string list
+(** Every name ever passed to {!point}, sorted — the coverage
+    enumeration the fault-matrix tests iterate over. *)
+
+val hits : string -> int
+(** Times the named point was passed (0 if never). *)
+
+val total_hits : unit -> int

@@ -1,0 +1,437 @@
+(* Deterministic fault injection and crash-safe sign epochs: the
+   registry itself, the engine's recovery state machine (crash at every
+   fault point an operation crosses, then recover), the divergence
+   path, and the qcheck atomicity property over random documents,
+   policies and updates. *)
+
+open Xmlac_core
+module Tree = Xmlac_xml.Tree
+module Wal = Xmlac_reldb.Wal
+module Fault = Xmlac_util.Fault
+module Prng = Xmlac_util.Prng
+module Metrics = Xmlac_util.Metrics
+module Pp = Xmlac_xpath.Pp
+module W = Xmlac_workload
+
+(* ------------------------------------------------------------------ *)
+(* The fault-point registry. *)
+
+let test_after_trigger () =
+  Fault.reset ();
+  Fault.arm "t.after" (Fault.After 3);
+  Fault.point "t.after";
+  Fault.point "t.after";
+  Alcotest.(check bool) "not yet killed" false (Fault.killed ());
+  (match Fault.point "t.after" with
+  | () -> Alcotest.fail "third hit did not crash"
+  | exception Fault.Crash site ->
+      Alcotest.(check string) "crash site" "t.after" site);
+  Alcotest.(check bool) "killed" true (Fault.killed ());
+  Alcotest.(check (option string)) "site recorded" (Some "t.after")
+    (Fault.crash_site ());
+  (* Dead process: every further point re-raises the original site. *)
+  (match Fault.point "t.other" with
+  | () -> Alcotest.fail "point ran past the kill"
+  | exception Fault.Crash site ->
+      Alcotest.(check string) "re-raises original site" "t.after" site);
+  Fault.recover ();
+  Alcotest.(check bool) "recovered" false (Fault.killed ());
+  Fault.point "t.after" (* disarmed by recover: no crash *)
+
+let crash_index ~seed ~prob ~max =
+  Fault.reset ();
+  Fault.set_seed seed;
+  Fault.arm "t.prob" (Fault.Prob prob);
+  let rec go i =
+    if i > max then None
+    else
+      match Fault.point "t.prob" with
+      | () -> go (i + 1)
+      | exception Fault.Crash _ -> Some i
+  in
+  go 1
+
+let test_prob_trigger_replayable () =
+  let a = crash_index ~seed:42L ~prob:0.2 ~max:1000 in
+  let b = crash_index ~seed:42L ~prob:0.2 ~max:1000 in
+  Alcotest.(check bool) "fired within bound" true (a <> None);
+  Alcotest.(check (option int)) "same seed, same crash schedule" a b;
+  Fault.reset ()
+
+let test_registry_enumeration () =
+  Fault.reset ();
+  Fault.point "t.reg.a";
+  Fault.point "t.reg.a";
+  Fault.point "t.reg.b";
+  Alcotest.(check int) "hits counted" 2 (Fault.hits "t.reg.a");
+  let reg = Fault.registered () in
+  Alcotest.(check bool) "both registered" true
+    (List.mem "t.reg.a" reg && List.mem "t.reg.b" reg);
+  Fault.reset ();
+  Alcotest.(check int) "reset zeroes hits" 0 (Fault.hits "t.reg.a");
+  Alcotest.(check bool) "names survive reset" true
+    (List.mem "t.reg.a" (Fault.registered ()))
+
+let test_arm_all () =
+  Fault.reset ();
+  Fault.set_seed 7L;
+  Fault.arm_all ~prob:1.0;
+  (match Fault.point "t.any" with
+  | () -> Alcotest.fail "arm_all 1.0 did not crash"
+  | exception Fault.Crash _ -> ());
+  Fault.recover ();
+  Fault.arm_all ~prob:0.0;
+  Fault.point "t.any";
+  Fault.reset ()
+
+let test_env_seed_parse () =
+  (* The CI fault matrix drives crash schedules through this variable;
+     the parse must agree with the raw environment. *)
+  match Sys.getenv_opt Fault.seed_env_var with
+  | None -> Alcotest.(check (option int64)) "unset" None (Fault.env_seed ())
+  | Some raw ->
+      Alcotest.(check (option int64)) "parses the environment"
+        (Int64.of_string_opt (String.trim raw))
+        (Fault.env_seed ())
+
+(* ------------------------------------------------------------------ *)
+(* WAL appends after a kill must fail loudly (not silently succeed). *)
+
+let test_wal_log_after_crash_fails_loudly () =
+  Fault.reset ();
+  let w = Wal.create () in
+  Wal.log w "before";
+  Fault.arm "wal.append" (Fault.After 1);
+  (match Wal.log w "doomed" with
+  | () -> Alcotest.fail "armed append did not crash"
+  | exception Fault.Crash _ -> ());
+  (match Wal.log w "after the kill" with
+  | () -> Alcotest.fail "append past the kill succeeded silently"
+  | exception Failure msg ->
+      Alcotest.(check bool) "explains itself" true
+        (Helpers.contains msg "simulated crash"));
+  Fault.recover ();
+  let _ = Wal.recover w in
+  Wal.log w "alive again";
+  Alcotest.(check int) "only surviving records" 2 (Wal.records w);
+  Fault.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine fixtures: every engine in a test is built over the same
+   document value so universal ids line up across twins. *)
+
+let hospital_fixture () =
+  let doc = W.Hospital.sample_document () in
+  fun () ->
+    Engine.create ~dtd:W.Hospital.dtd ~policy:W.Hospital.policy doc
+
+let treatment_fragment () =
+  let frag = Tree.create ~root_name:"treatment" in
+  let reg = Tree.add_child frag (Tree.root frag) "regular" in
+  ignore (Tree.add_child frag reg ~value:"aspirin" "med");
+  ignore (Tree.add_child frag reg ~value:"120" "bill");
+  frag
+
+let accessible_sets eng =
+  List.map (fun k -> (k, Engine.accessible eng k)) Engine.all_backend_kinds
+
+(* Kill on the first, a middle, and the last hit of a point. *)
+let kill_offsets hits =
+  List.filter
+    (fun k -> k >= 1 && k <= hits)
+    (List.sort_uniq compare [ 1; (hits + 1) / 2; hits ])
+
+(* The deterministic sweep: scout the operation once to learn every
+   fault point it crosses (and how often), then for each point and a
+   few kill offsets build a fresh engine, crash there, recover, and
+   check the atomicity contract — each store lands extensionally on
+   the pre- or the post-operation materialization, never a mix; the
+   epoch counter never runs backwards; the fast lane is coherent.
+   [structural] marks operations whose single epoch spans all three
+   stores (recovery rolls them forward together). *)
+let crash_sweep ~name ~make_engine ~prep ~op ~structural () =
+  Fault.reset ();
+  let scout = make_engine () in
+  prep scout;
+  let before = List.map (fun n -> (n, Fault.hits n)) (Fault.registered ()) in
+  op scout;
+  let crossed =
+    List.filter_map
+      (fun n ->
+        let b = Option.value (List.assoc_opt n before) ~default:0 in
+        let d = Fault.hits n - b in
+        if d > 0 then Some (n, d) else None)
+      (Fault.registered ())
+  in
+  Alcotest.(check bool) (name ^ ": crosses fault points") true (crossed <> []);
+  let pre_twin = make_engine () in
+  prep pre_twin;
+  let pre = accessible_sets pre_twin in
+  let post_twin = make_engine () in
+  prep post_twin;
+  op post_twin;
+  let post = accessible_sets post_twin in
+  List.iter
+    (fun (pt, hits) ->
+      List.iter
+        (fun k ->
+          Fault.reset ();
+          let eng = make_engine () in
+          prep eng;
+          let e0 = Engine.sign_epoch eng in
+          Fault.arm pt (Fault.After k);
+          (match op eng with
+          | () -> Alcotest.failf "%s: %s (After %d) did not fire" name pt k
+          | exception Fault.Crash _ -> ());
+          let r = Engine.recover eng in
+          let ctx = Printf.sprintf "%s: crash at %s hit %d" name pt k in
+          Alcotest.(check bool) (ctx ^ ": epoch monotone") true
+            (Engine.sign_epoch eng >= e0);
+          Alcotest.(check (option int)) (ctx ^ ": no epoch left open") None
+            (Engine.open_epoch eng);
+          (match r.Engine.recovered_epoch with
+          | Some n ->
+              Alcotest.(check int) (ctx ^ ": aborted epoch consumed") n
+                (Engine.sign_epoch eng)
+          | None -> ());
+          let sides =
+            List.map
+              (fun kind ->
+                let got = Engine.accessible eng kind in
+                if got = List.assoc kind pre then `Pre
+                else if got = List.assoc kind post then `Post
+                else
+                  Alcotest.failf "%s: %s store is neither pre nor post" ctx
+                    (Engine.backend_kind_to_string kind))
+              Engine.all_backend_kinds
+          in
+          if structural then begin
+            Alcotest.(check bool) (ctx ^ ": stores recovered together") true
+              (match sides with
+              | [ a; b; c ] -> a = b && b = c
+              | _ -> false);
+            Alcotest.(check bool) (ctx ^ ": lockstep") true
+              (Engine.consistent eng)
+          end;
+          Alcotest.(check bool) (ctx ^ ": CAM coherent") true
+            (Engine.cam_check eng))
+        (kill_offsets hits))
+    crossed;
+  Fault.reset ()
+
+let annotate_all eng = ignore (Engine.annotate_all eng)
+
+let test_crash_sweep_annotate () =
+  crash_sweep ~name:"annotate"
+    ~make_engine:(hospital_fixture ())
+    ~prep:(fun _ -> ())
+    ~op:annotate_all ~structural:false ()
+
+let test_crash_sweep_update () =
+  crash_sweep ~name:"update"
+    ~make_engine:(hospital_fixture ())
+    ~prep:annotate_all
+    ~op:(fun eng -> ignore (Engine.update eng "//patient/treatment"))
+    ~structural:true ()
+
+let test_crash_sweep_insert () =
+  crash_sweep ~name:"insert"
+    ~make_engine:(hospital_fixture ())
+    ~prep:annotate_all
+    ~op:(fun eng ->
+      ignore
+        (Engine.insert eng
+           ~at:"//patient[psn = \"099\"]"
+           ~fragment:(treatment_fragment ())))
+    ~structural:true ()
+
+(* The ISSUE's coverage floor: the mutating paths cross named points
+   spanning the WAL, relational sign UPDATEs, native sign stamping,
+   structural applies and CAM repair. *)
+let test_fault_point_coverage () =
+  Fault.reset ();
+  let eng = (hospital_fixture ()) () in
+  annotate_all eng;
+  ignore (Engine.update eng "//patient/treatment");
+  ignore
+    (Engine.insert eng ~at:"//patient[psn = \"099\"]"
+       ~fragment:(treatment_fragment ()));
+  let reg = Fault.registered () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("point crossed: " ^ p) true (List.mem p reg))
+    [
+      "wal.append"; "wal.append.torn"; "wal.begin"; "wal.commit";
+      "native.set_sign"; "row.set_sign"; "column.set_sign";
+      "native.delete"; "row.delete"; "column.delete";
+      "native.insert"; "row.insert"; "column.insert"; "cam.repair";
+    ];
+  Fault.reset ()
+
+(* While an epoch is open (crashed, unrecovered), every mutating entry
+   point refuses loudly. *)
+let test_open_epoch_guard () =
+  Fault.reset ();
+  let eng = (hospital_fixture ()) () in
+  annotate_all eng;
+  Fault.arm "wal.commit" (Fault.After 1);
+  (match Engine.update eng "//patient/treatment" with
+  | _ -> Alcotest.fail "armed commit did not crash"
+  | exception Fault.Crash _ -> ());
+  Alcotest.(check bool) "epoch left open" true (Engine.open_epoch eng <> None);
+  Fault.recover ();
+  (* The process came back but skipped recovery: mutations refuse. *)
+  (match Engine.update eng "//nurse" with
+  | _ -> Alcotest.fail "mutation allowed over an open epoch"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "points at recover" true
+        (Helpers.contains msg "recover"));
+  let r = Engine.recover eng in
+  Alcotest.(check bool) "rolled forward" true (r.Engine.direction = `Forward);
+  let _ = Engine.update eng "//nurse" in
+  Alcotest.(check bool) "mutating again after recovery" true
+    (Engine.consistent eng);
+  Fault.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* PR 2's divergence path: external sign mutation, refresh, bypass,
+   recovery of lockstep and CAM borrowing.  *)
+
+let test_divergence_bypass_and_restore () =
+  Fault.reset ();
+  let eng = (hospital_fixture ()) () in
+  annotate_all eng;
+  let m = Engine.metrics eng in
+  let q = "//patient/name" in
+  let _ = Engine.request eng Engine.Row_sql q in
+  Alcotest.(check int) "lockstep borrows the CAM" 0
+    (Metrics.counter m "fastlane.bypass");
+  (* Mutate the row store's signs behind the engine's back, then
+     declare the divergence. *)
+  let row = Engine.backend eng Engine.Row_sql in
+  let name_ids = Helpers.ids (Engine.document eng) q in
+  Alcotest.(check bool) "fixture has names" true (name_ids <> []);
+  ignore (row.Backend.set_sign_ids name_ids Tree.Minus);
+  Engine.refresh eng;
+  let d = Engine.request eng Engine.Row_sql q in
+  Alcotest.(check int) "diverged request bypasses the CAM" 1
+    (Metrics.counter m "fastlane.bypass");
+  Alcotest.(check bool) "bypass reads the store's own signs" false
+    (Requester.is_granted d);
+  Alcotest.(check bool) "matches the direct path" true
+    (d = Engine.request_direct eng Engine.Row_sql q);
+  (* Native requests stay on the fast lane throughout. *)
+  let dn = Engine.request eng Engine.Native q in
+  Alcotest.(check int) "native never bypasses" 1
+    (Metrics.counter m "fastlane.bypass");
+  Alcotest.(check bool) "native still granted" true (Requester.is_granted dn);
+  (* Recovery: re-annotating all stores restores lockstep and CAM
+     borrowing for relational requests. *)
+  annotate_all eng;
+  let d' = Engine.request eng Engine.Row_sql q in
+  Alcotest.(check int) "lockstep borrowing restored" 1
+    (Metrics.counter m "fastlane.bypass");
+  Alcotest.(check bool) "re-annotation undid the mutation" true
+    (Requester.is_granted d');
+  Alcotest.(check bool) "stores agree" true (Engine.consistent eng)
+
+(* ------------------------------------------------------------------ *)
+(* The atomicity property: random document, random policy, random
+   update, probabilistic crash schedule (seeded, and mixed with
+   XMLAC_FAULT_SEED so the CI matrix exercises distinct schedules).
+   After recovery every store is extensionally at the pre- or the
+   post-update materialization — never a mix. *)
+
+let random_policy rng doc =
+  match Prng.int rng 3 with
+  | 0 -> W.Hospital.policy
+  | 1 -> W.Coverage.policy_for_target ~doc ~target:0.3
+  | _ ->
+      Policy.make ~ds:Rule.Minus ~cr:Rule.Minus
+        (List.init
+           (1 + Prng.int rng 4)
+           (fun i ->
+             Rule.make
+               ~name:(Printf.sprintf "F%d" i)
+               ~resource:(Helpers.random_hospital_expr rng)
+               (if Prng.bool rng then Rule.Plus else Rule.Minus)))
+
+(* A random delete target that does not take out the document root. *)
+let rec random_update rng =
+  let e = Helpers.random_hospital_expr rng in
+  match e.Xmlac_xpath.Ast.steps with
+  | [ { Xmlac_xpath.Ast.test = Xmlac_xpath.Ast.Name "hospital"; _ } ]
+  | [ { Xmlac_xpath.Ast.test = Xmlac_xpath.Ast.Wildcard; _ } ] ->
+      random_update rng
+  | _ -> Pp.expr_to_string e
+
+let atomicity_prop =
+  QCheck2.Test.make
+    ~name:"crash anywhere, recover -> pre or post materialization, never a mix"
+    ~count:30
+    QCheck2.Gen.(pair Helpers.seed_gen Helpers.seed_gen)
+    (fun (doc_seed, fault_seed) ->
+      Fault.reset ();
+      let rng = Prng.create ~seed:doc_seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let policy = random_policy rng doc in
+      let update = random_update rng in
+      let make () = Engine.create ~dtd:W.Hospital.dtd ~policy doc in
+      let eng = make () in
+      annotate_all eng;
+      let e0 = Engine.sign_epoch eng in
+      Fault.set_seed
+        (Int64.logxor fault_seed
+           (Option.value (Fault.env_seed ()) ~default:0L));
+      Fault.arm_all ~prob:0.02;
+      let crashed =
+        match Engine.update eng update with
+        | _ -> false
+        | exception Fault.Crash _ -> true
+      in
+      if crashed then ignore (Engine.recover eng) else Fault.reset ();
+      if Engine.sign_epoch eng < e0 then
+        QCheck2.Test.fail_report "sign epoch ran backwards";
+      if not (Engine.consistent eng) then
+        QCheck2.Test.fail_report "stores out of lockstep after recovery";
+      (* Twin oracles, faults disarmed. *)
+      let pre_twin = make () in
+      annotate_all pre_twin;
+      let pre = accessible_sets pre_twin in
+      let post_twin = make () in
+      annotate_all post_twin;
+      ignore (Engine.update post_twin update);
+      let post = accessible_sets post_twin in
+      List.for_all
+        (fun kind ->
+          let got = Engine.accessible eng kind in
+          got = List.assoc kind pre || got = List.assoc kind post)
+        Engine.all_backend_kinds)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fault"
+    [
+      ( "registry",
+        [
+          tc "counted trigger and kill semantics" test_after_trigger;
+          tc "probabilistic trigger replayable" test_prob_trigger_replayable;
+          tc "registration and hit counts" test_registry_enumeration;
+          tc "arm_all" test_arm_all;
+          tc "env seed parse" test_env_seed_parse;
+        ] );
+      ( "wal kill",
+        [ tc "append after crash fails loudly" test_wal_log_after_crash_fails_loudly ] );
+      ( "crash sweeps",
+        [
+          tc "annotate epochs" test_crash_sweep_annotate;
+          tc "update epoch" test_crash_sweep_update;
+          tc "insert epoch" test_crash_sweep_insert;
+          tc "fault point coverage" test_fault_point_coverage;
+          tc "open epoch guards mutations" test_open_epoch_guard;
+        ] );
+      ( "divergence",
+        [ tc "bypass and restore" test_divergence_bypass_and_restore ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest atomicity_prop ] );
+    ]
