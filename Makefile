@@ -23,6 +23,17 @@ ci:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
+# Chaos soak: replay the deterministic serve-layer soak (interleaved
+# requests/mutations at fault rate 0.05, fail-closed + liveness
+# assertions) under the CI chaos-soak job's three fixed seeds, then
+# run the resilience bench once.
+soak:
+	@for seed in 1 7 20090101; do \
+	  echo "== chaos soak, fault seed $$seed =="; \
+	  XMLAC_FAULT_SEED=$$seed dune exec test/test_serve.exe -- test soak || exit 1; \
+	done
+	dune exec bench/main.exe -- -e resilience
+
 bench:
 	dune exec bench/main.exe
 
@@ -38,4 +49,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test ci bench bench-full doc quickstart clean
+.PHONY: all test ci soak bench bench-full doc quickstart clean

@@ -20,6 +20,7 @@ type experiment =
   | AblationPlan
   | Requester
   | Recovery
+  | Resilience
   | Micro
   | All
 
@@ -34,6 +35,7 @@ let experiment_of_string = function
   | "ablation-plan" -> Ok AblationPlan
   | "requester" -> Ok Requester
   | "recovery" -> Ok Recovery
+  | "resilience" -> Ok Resilience
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -54,6 +56,7 @@ let experiment_conv =
           | AblationPlan -> "ablation-plan"
           | Requester -> "requester"
           | Recovery -> "recovery"
+          | Resilience -> "resilience"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -68,6 +71,7 @@ let run_one cfg = function
   | AblationPlan -> Exp_ablation_plan.run cfg
   | Requester -> Exp_requester.run cfg
   | Recovery -> Exp_recovery.run cfg
+  | Resilience -> Exp_resilience.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -80,6 +84,7 @@ let run_one cfg = function
       Exp_ablation_plan.run cfg;
       Exp_requester.run cfg;
       Exp_recovery.run cfg;
+      Exp_resilience.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =
@@ -107,7 +112,7 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     ablation-plan, requester, recovery, micro or all (repeatable)."
+     ablation-plan, requester, recovery, resilience, micro or all (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)
 

@@ -10,12 +10,15 @@
      update     delete update + trigger-based partial re-annotation
      depend     show rule expansions and the dependency graph
      explain    annotation plan, rewrite trace, lowerings, timings
-     recover    crash a mutating epoch at a fault point, then recover *)
+     recover    crash a mutating epoch at a fault point, then recover
+     health     probe the resilient serving layer under injected faults *)
 
 open Cmdliner
 open Xmlac_core
 module Tree = Xmlac_xml.Tree
 module Fault = Xmlac_util.Fault
+module Serve = Xmlac_serve.Serve
+module Breaker = Xmlac_serve.Breaker
 module Timing = Xmlac_util.Timing
 
 let read_file path =
@@ -277,6 +280,16 @@ let explain policy_path dtd_name doc_path raw requests =
           ignore cold;
           Format.printf "  %-40s -> %a@." q Requester.pp warm)
         queries;
+      let dc = Engine.decision_cache eng in
+      Printf.printf
+        "  decision cache    %d/%d entries, %d eviction(s), %d stale \
+         drop(s), hit rate %.2f\n"
+        (Decision_cache.length dc)
+        (Decision_cache.capacity dc)
+        (Decision_cache.evictions dc)
+        (Decision_cache.stale_drops dc)
+        (Xmlac_util.Metrics.hit_rate (Engine.metrics eng) ~hits:"cache.hits"
+           ~misses:"cache.misses");
       print_endline "durability:";
       Printf.printf "  sign epoch        %d (committed)\n"
         (Engine.sign_epoch eng);
@@ -417,6 +430,124 @@ let recover_cmd =
     Term.(const recover_run $ policy_path $ dtd_name $ doc_path $ update_expr
           $ kill_at $ kill_after $ prob $ fault_seed)
 
+(* --- health ------------------------------------------------------- *)
+
+let health_run policy_path dtd_name doc_path requests fault_rate seed
+    deadline_ticks retries =
+  let policy = Optimizer.optimize_policy (load_policy policy_path) in
+  let dtd = load_dtd dtd_name in
+  let doc = load_doc doc_path in
+  Fault.reset ();
+  Fault.set_seed (Int64.of_int seed);
+  let eng = Engine.create ~dtd ~policy doc in
+  let _ = Engine.annotate_all eng in
+  let config =
+    { Serve.default_config with Serve.deadline_ticks; max_retries = retries }
+  in
+  let serve = Serve.create ~config eng in
+  (* A deterministic probe workload: the policy's own rule resources,
+     round-robin over the three backends. *)
+  let queries =
+    match
+      List.map
+        (fun (r : Rule.t) -> Xmlac_xpath.Pp.expr_to_string r.Rule.resource)
+        (Policy.rules policy)
+    with
+    | [] -> [| "//*" |]
+    | qs -> Array.of_list qs
+  in
+  let kinds = Array.of_list Engine.all_backend_kinds in
+  let granted = ref 0
+  and denied = ref 0
+  and degraded = ref 0
+  and errors = ref 0 in
+  for step = 0 to requests - 1 do
+    (* auto-recovery disarms the registry: re-arm every step *)
+    if fault_rate > 0.0 then Fault.arm_all_transient ~prob:fault_rate;
+    let kind = kinds.(step mod Array.length kinds) in
+    let q = queries.(step mod Array.length queries) in
+    match Serve.request serve kind q with
+    | Ok r ->
+        if r.Serve.served = Serve.Degraded then incr degraded;
+        if Requester.is_granted r.Serve.decision then incr granted
+        else incr denied
+    | Error _ -> incr errors
+  done;
+  (* quiet phase: the faults stop; every breaker must re-close within
+     cooldown + probes admitted calls *)
+  Fault.disarm_all ();
+  let bcfg = config.Serve.breaker in
+  let budget = bcfg.Breaker.cooldown + bcfg.Breaker.probes in
+  Array.iter
+    (fun kind ->
+      let br = Serve.breaker serve kind in
+      let i = ref 0 in
+      while Breaker.state br <> Breaker.Closed && !i < budget do
+        ignore (Serve.request serve kind queries.(!i mod Array.length queries));
+        incr i
+      done)
+    kinds;
+  Printf.printf
+    "probe: %d request(s) round-robin over %d backends, fault rate %.2f, %d \
+     quer%s\n"
+    requests (Array.length kinds) fault_rate (Array.length queries)
+    (if Array.length queries = 1 then "y" else "ies");
+  let m = Engine.metrics eng in
+  Printf.printf
+    "  granted %d, denied %d, degraded %d, error(s) %d, retries %d, \
+     auto-recoveries %d\n"
+    !granted !denied !degraded !errors
+    (Xmlac_util.Metrics.counter m "serve.retries")
+    (Xmlac_util.Metrics.counter m "serve.auto_recoveries");
+  let h = Serve.health serve in
+  Format.printf "%a@?" Serve.pp_health h;
+  Fault.reset ();
+  if not (Serve.healthy h) then exit 3
+
+let health_cmd =
+  let policy_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY")
+  in
+  let dtd_name =
+    Arg.(required & opt (some string) None
+         & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let doc_path =
+    Arg.(required & opt (some file) None
+         & info [ "doc" ] ~doc:"Document to build the engine over.")
+  in
+  let requests =
+    Arg.(value & opt int 30
+         & info [ "requests" ] ~doc:"Probe requests to issue.")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.0
+         & info [ "fault-rate" ]
+             ~doc:"Per-point transient fault probability during the probe.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Seed for the transient fault schedule.")
+  in
+  let deadline_ticks =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ticks" ]
+             ~doc:"Cooperative deadline budget per request (checkpoint \
+                   crossings).")
+  in
+  let retries =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~doc:"Transient retry budget per request.")
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Drive a probe workload through the resilient serving layer \
+             under an optional transient-fault schedule, then report breaker \
+             states, queue depth and snapshot coherence (exit code 3 if the \
+             layer ends unhealthy).")
+    Term.(const health_run $ policy_path $ dtd_name $ doc_path $ requests
+          $ fault_rate $ seed $ deadline_ticks $ retries)
+
 (* --- view --------------------------------------------------------- *)
 
 let view doc_path policy_path mode output =
@@ -479,5 +610,5 @@ let () =
           [
             generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
             query_cmd; update_cmd; depend_cmd; explain_cmd; view_cmd; cam_cmd;
-            recover_cmd;
+            recover_cmd; health_cmd;
           ]))

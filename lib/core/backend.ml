@@ -29,6 +29,13 @@ let with_faults ~prefix b =
   let pt op = Fault.point (prefix ^ "." ^ op) in
   {
     b with
+    eval_ids =
+      (fun e ->
+        (* The read path's injection site: requests and the
+           reannotator's scope evaluations cross it, so transient
+           triggers can fail a query without touching any state. *)
+        pt "eval";
+        b.eval_ids e);
     set_sign_ids =
       (fun ids sign ->
         List.fold_left

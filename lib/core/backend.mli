@@ -64,7 +64,10 @@ val with_faults : prefix:string -> t -> t
 (** Threads the mutating operations through fault points named
     [<prefix>.set_sign] (hit once {e per node} stamped, so counted
     triggers land mid-write), [<prefix>.reset_signs] and
-    [<prefix>.delete].  Read operations pass through untouched. *)
+    [<prefix>.delete]; [eval_ids] crosses [<prefix>.eval] once per
+    query, the read-path site transient triggers use to fail a
+    request without corrupting state.  Other read operations pass
+    through untouched. *)
 
 (** {1 Sign undo journal} *)
 

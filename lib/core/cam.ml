@@ -35,6 +35,7 @@ let build doc ~default =
   t
 
 let lookup t (n : Tree.node) =
+  Xmlac_util.Deadline.checkpoint ();
   let rec up (m : Tree.node) =
     match Hashtbl.find_opt t.map m.Tree.id with
     | Some s -> s

@@ -28,7 +28,9 @@ val build : Xmlac_xml.Tree.t -> default:Xmlac_xml.Tree.sign -> t
 
 val lookup : t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign
 (** Effective sign of a node of the document the map was built from.
-    O(depth) worst case; O(1) when the node itself carries an entry. *)
+    O(depth) worst case; O(1) when the node itself carries an entry.
+    Crosses one {!Xmlac_util.Deadline.checkpoint} per call, so lookups
+    under a serve-layer budget time out cooperatively. *)
 
 val default : t -> Xmlac_xml.Tree.sign
 

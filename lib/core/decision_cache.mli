@@ -21,8 +21,19 @@ type 'a t
 val default_capacity : int
 (** 256. *)
 
-val create : ?capacity:int -> unit -> 'a t
-(** @raise Invalid_argument when [capacity < 1]. *)
+val create :
+  ?capacity:int ->
+  ?on_evict:(int -> unit) ->
+  ?on_stale:(int -> unit) ->
+  unit ->
+  'a t
+(** [on_evict] is called with the number of live entries evicted to
+    make room for an insert, [on_stale] with the number of
+    stale-epoch entries dropped by a lookup — the hooks the engine
+    uses to mirror cache churn into its {!Xmlac_util.Metrics}
+    registry ([cache.evictions], [cache.stale_drops]).  Both default
+    to no-ops.
+    @raise Invalid_argument when [capacity < 1]. *)
 
 val find : 'a t -> epoch:int -> string -> 'a option
 (** The cached value, iff it was stored under the same [epoch].  An
@@ -35,4 +46,12 @@ val add : 'a t -> epoch:int -> string -> 'a -> unit
 val length : 'a t -> int
 val capacity : 'a t -> int
 
+val evictions : 'a t -> int
+(** Lifetime count of live entries evicted for capacity. *)
+
+val stale_drops : 'a t -> int
+(** Lifetime count of stale-epoch entries dropped on lookup. *)
+
 val clear : 'a t -> unit
+(** Drops every entry.  Not counted as eviction — clearing is the
+    epoch-invalidation fast path, not capacity pressure. *)

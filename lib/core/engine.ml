@@ -121,6 +121,7 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
       ~prefix:(fault_prefix kind)
       (Backend.journaled (List.assoc kind journals) base)
   in
+  let metrics = Metrics.create () in
   {
     policy;
     original_policy;
@@ -138,8 +139,12 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
     row = wrap Row_sql (Rel_backend.make mapping row_db);
     column = wrap Column_sql (Rel_backend.make mapping col_db);
     journals;
-    metrics = Metrics.create ();
-    cache = Decision_cache.create ?capacity:cache_capacity ();
+    metrics;
+    cache =
+      Decision_cache.create ?capacity:cache_capacity
+        ~on_evict:(Metrics.add metrics "cache.evictions")
+        ~on_stale:(Metrics.add metrics "cache.stale_drops")
+        ();
     cam = Cam.build native_doc ~default:(Policy.ds policy);
     epoch = 0;
     annotated = [];
@@ -150,6 +155,7 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
 
 let policy t = t.policy
 let original_policy t = t.original_policy
+let decision_cache t = t.cache
 let optimizer_report t = t.report
 let mapping t = t.mapping
 let schema_graph t = t.sg
@@ -474,12 +480,17 @@ let recover t =
      before touching any store, as a fresh process would start clean. *)
   Fault.recover ();
   let wal_dropped = Wal.recover t.wal_row + Wal.recover t.wal_col in
-  Metrics.incr t.metrics "recovery.runs";
-  Metrics.add t.metrics "recovery.wal_dropped" wal_dropped;
   match t.open_op with
   | None ->
       (* Nothing was in flight: the crash (if any) hit outside an
-         epoch and left no partial state. *)
+         epoch and left no partial state.  This makes recover
+         idempotent — a second call after a completed recovery finds
+         committed WAL tails and no open epoch, so it leaves every
+         counter, the request epoch, the cache and the CAM untouched. *)
+      if wal_dropped > 0 then begin
+        Metrics.incr t.metrics "recovery.runs";
+        Metrics.add t.metrics "recovery.wal_dropped" wal_dropped
+      end;
       {
         recovered_epoch = None;
         direction = `None;
@@ -488,6 +499,8 @@ let recover t =
         repaired = [];
       }
   | Some o ->
+      Metrics.incr t.metrics "recovery.runs";
+      Metrics.add t.metrics "recovery.wal_dropped" wal_dropped;
       (* Re-frame the epoch: recovery's own writes (compensation or
          roll-forward) are journaled and committed under the same
          number, so the WAL never ends on an uncommitted tail. *)

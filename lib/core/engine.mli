@@ -150,6 +150,12 @@ val metrics : t -> Xmlac_util.Metrics.t
 val cam : t -> Cam.t
 (** The engine's live CAM over the native store's signs. *)
 
+val decision_cache : t -> Requester.decision Decision_cache.t
+(** The engine's bounded decision cache — exposed read-only in spirit
+    for observability ([length] / [capacity] / [evictions] /
+    [stale_drops]); its churn is mirrored into {!metrics} as
+    [cache.evictions] and [cache.stale_drops]. *)
+
 val epoch : t -> int
 (** Version counter of the materialized state; bumped by {!annotate},
     {!update}, {!insert} and {!refresh}.  Cached decisions from older
@@ -214,4 +220,6 @@ val recover : t -> recovery
     forwards for {!update} / {!insert}.  Restores lockstep tracking,
     bumps the request {!epoch}, clears the decision cache and rebuilds
     the CAM, so the fast lane is coherent with the recovered signs.
-    Safe to call when nothing crashed (reports [`None]). *)
+    Safe to call when nothing crashed (reports [`None]), and
+    {e idempotent}: a second call after a completed recovery is a pure
+    no-op — no epoch bump, no cache clear, no counter movement. *)

@@ -1,14 +1,26 @@
 module Tree = Xmlac_xml.Tree
+module Deadline = Xmlac_util.Deadline
 
 type decision =
   | Granted of int list
   | Denied of { blocked : int }
 
+(* One deadline checkpoint per selected node: the serve layer's
+   cooperative timeout fires inside the accessibility sweep, so a
+   request over a huge answer set cannot blow its budget silently. *)
 let decide ~ids ~accessible =
-  let blocked = List.length (List.filter (fun id -> not (accessible id)) ids) in
+  let blocked =
+    List.length
+      (List.filter
+         (fun id ->
+           Deadline.checkpoint ();
+           not (accessible id))
+         ids)
+  in
   if blocked = 0 then Granted ids else Denied { blocked }
 
 let request_via ~sign (backend : Backend.t) expr =
+  Deadline.checkpoint ();
   let ids = backend.Backend.eval_ids expr in
   decide ~ids ~accessible:(fun id -> sign id = Tree.Plus)
 

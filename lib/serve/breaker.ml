@@ -1,0 +1,132 @@
+module Metrics = Xmlac_util.Metrics
+
+type state = Closed | Open | Half_open
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  window : int;
+  min_calls : int;
+  threshold : float;
+  cooldown : int;
+  probes : int;
+}
+
+let default_config =
+  { window = 16; min_calls = 4; threshold = 0.5; cooldown = 8; probes = 2 }
+
+type t = {
+  config : config;
+  metrics : Metrics.t option;
+  name : string;
+  outcomes : bool array;  (* ring buffer: true = failure *)
+  mutable filled : int;
+  mutable next : int;
+  mutable failures : int;  (* failures currently in the window *)
+  mutable state : state;
+  mutable cooldown_left : int;
+  mutable probe_successes : int;
+  mutable trips : int;
+}
+
+let create ?metrics ~name config =
+  if config.window < 1 then invalid_arg "Breaker.create: window < 1";
+  if config.min_calls < 1 then invalid_arg "Breaker.create: min_calls < 1";
+  if not (config.threshold > 0.0 && config.threshold <= 1.0) then
+    invalid_arg "Breaker.create: threshold must be in (0, 1]";
+  if config.cooldown < 0 then invalid_arg "Breaker.create: cooldown < 0";
+  if config.probes < 1 then invalid_arg "Breaker.create: probes < 1";
+  {
+    config;
+    metrics;
+    name;
+    outcomes = Array.make config.window false;
+    filled = 0;
+    next = 0;
+    failures = 0;
+    state = Closed;
+    cooldown_left = 0;
+    probe_successes = 0;
+    trips = 0;
+  }
+
+let config t = t.config
+let state t = t.state
+let trips t = t.trips
+
+let count t what =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.incr m (Printf.sprintf "breaker.%s.%s" t.name what)
+
+let clear_window t =
+  Array.fill t.outcomes 0 (Array.length t.outcomes) false;
+  t.filled <- 0;
+  t.next <- 0;
+  t.failures <- 0
+
+let push t ~failed =
+  if t.filled = t.config.window then begin
+    (* Full ring: the slot being overwritten leaves the window. *)
+    if t.outcomes.(t.next) then t.failures <- t.failures - 1
+  end
+  else t.filled <- t.filled + 1;
+  t.outcomes.(t.next) <- failed;
+  if failed then t.failures <- t.failures + 1;
+  t.next <- (t.next + 1) mod t.config.window
+
+let error_rate t =
+  if t.filled = 0 then 0.0
+  else float_of_int t.failures /. float_of_int t.filled
+
+let trip t =
+  t.state <- Open;
+  t.cooldown_left <- t.config.cooldown;
+  t.probe_successes <- 0;
+  t.trips <- t.trips + 1;
+  count t "trips"
+
+let close t =
+  t.state <- Closed;
+  t.probe_successes <- 0;
+  clear_window t;
+  count t "closes"
+
+let admit t =
+  match t.state with
+  | Closed -> `Admit
+  | Half_open ->
+      count t "probes";
+      `Admit
+  | Open ->
+      if t.cooldown_left <= 0 then begin
+        (* Cooldown exhausted: probe the backend. *)
+        t.state <- Half_open;
+        t.probe_successes <- 0;
+        count t "probes";
+        `Admit
+      end
+      else begin
+        t.cooldown_left <- t.cooldown_left - 1;
+        count t "rejected";
+        `Reject
+      end
+
+let record t ~ok =
+  match t.state with
+  | Open -> ()  (* not admitted; nothing to learn *)
+  | Half_open -> if ok then begin
+      t.probe_successes <- t.probe_successes + 1;
+      if t.probe_successes >= t.config.probes then close t
+    end
+    else trip t
+  | Closed ->
+      push t ~failed:(not ok);
+      if t.filled >= t.config.min_calls && error_rate t >= t.config.threshold
+      then trip t
+
+let pp ppf t =
+  Format.fprintf ppf "%s (trips %d)" (state_to_string t.state) t.trips

@@ -1,0 +1,421 @@
+module Fault = Xmlac_util.Fault
+module Deadline = Xmlac_util.Deadline
+module Metrics = Xmlac_util.Metrics
+module Prng = Xmlac_util.Prng
+module Tree = Xmlac_xml.Tree
+module Engine = Xmlac_core.Engine
+module Requester = Xmlac_core.Requester
+module Cam = Xmlac_core.Cam
+module Policy = Xmlac_core.Policy
+
+type error_class = Transient | Timeout | Corrupt | Fatal
+
+let error_class_to_string = function
+  | Transient -> "transient"
+  | Timeout -> "timeout"
+  | Corrupt -> "corrupt"
+  | Fatal -> "fatal"
+
+type error = {
+  class_ : error_class;
+  site : string;
+  attempts : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s at %s (attempts %d): %s"
+    (error_class_to_string e.class_) e.site e.attempts e.message
+
+type config = {
+  deadline_ticks : int option;
+  deadline_seconds : float option;
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  sleep : float -> unit;
+  breaker : Breaker.config;
+  queue_capacity : int;
+  seed : int64;
+}
+
+let default_config =
+  {
+    deadline_ticks = None;
+    deadline_seconds = None;
+    max_retries = 2;
+    backoff_base_s = 0.005;
+    backoff_max_s = 0.1;
+    sleep = (fun _ -> ());
+    breaker = Breaker.default_config;
+    queue_capacity = 16;
+    seed = 1L;
+  }
+
+(* The degradation snapshot: a private copy of the committed
+   materialization, answered from while a breaker is open.  It is only
+   trusted while [sign_epoch] still equals the engine's committed
+   epoch — mutations refresh it on commit and nothing commits while
+   degraded, so a mismatch can only mean the engine was mutated behind
+   the layer's back; then we deny everything. *)
+type snapshot = { doc : Tree.t; cam : Cam.t; sign_epoch : int }
+
+type mutation =
+  | Update of string
+  | Insert of { at : string; fragment : Tree.t }
+
+type mutation_outcome =
+  | Applied of (Engine.backend_kind * Xmlac_core.Reannotator.stats) list
+  | Recovered
+  | Queued of int
+
+type t = {
+  eng : Engine.t;
+  config : config;
+  breakers : (Engine.backend_kind * Breaker.t) list;
+  rng : Prng.t;
+  mutable queue : mutation list;  (* oldest first; bounded, tiny *)
+  mutable snapshot : snapshot;
+}
+
+let take_snapshot eng =
+  let doc = Tree.copy (Engine.document eng) in
+  let default = Policy.ds (Engine.policy eng) in
+  { doc; cam = Cam.build doc ~default; sign_epoch = Engine.sign_epoch eng }
+
+let create ?(config = default_config) eng =
+  if config.max_retries < 0 then invalid_arg "Serve.create: max_retries < 0";
+  if config.queue_capacity < 0 then
+    invalid_arg "Serve.create: queue_capacity < 0";
+  let metrics = Engine.metrics eng in
+  let breakers =
+    List.map
+      (fun kind ->
+        let name = Engine.backend_kind_to_string kind in
+        (kind, Breaker.create ~metrics ~name config.breaker))
+      Engine.all_backend_kinds
+  in
+  {
+    eng;
+    config;
+    breakers;
+    rng = Prng.create ~seed:config.seed;
+    queue = [];
+    snapshot = take_snapshot eng;
+  }
+
+let engine t = t.eng
+let config t = t.config
+let breaker t kind = List.assoc kind t.breakers
+let metrics t = Engine.metrics t.eng
+let queued t = List.length t.queue
+let refresh_snapshot t = t.snapshot <- take_snapshot t.eng
+
+(* ---------- error classification ---------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let classify = function
+  | Fault.Transient site ->
+      (Transient, site, "transient fault at " ^ site)
+  | Deadline.Expired label -> (Timeout, label, "deadline budget exhausted")
+  | Fault.Crash site -> (Fatal, site, "crash at " ^ site)
+  | Failure msg
+    when contains msg "checksum" || contains msg "torn"
+         || contains msg "corrupt" ->
+      (Corrupt, "storage", msg)
+  | Invalid_argument msg -> (Fatal, "invalid-argument", msg)
+  | exn -> (Fatal, "exception", Printexc.to_string exn)
+
+let typed_error ?(attempts = 0) exn =
+  let class_, site, message = classify exn in
+  { class_; site; attempts; message }
+
+(* ---------- self-healing ---------- *)
+
+(* A fault between the two [Wal.begin_epoch] calls leaves one WAL
+   with an open epoch while the engine never registered an open
+   operation — a wedge that would make every later [begin_epoch]
+   refuse.  Recovery truncates it away. *)
+let wal_dangling t =
+  Engine.open_epoch t.eng = None
+  && List.exists
+       (fun kind ->
+         match Engine.wal t.eng kind with
+         | Some w -> Xmlac_reldb.Wal.open_epoch w <> None
+         | None -> false)
+       Engine.all_backend_kinds
+
+(* If a previous call crashed mid-epoch (or poisoned the fault
+   registry's kill state, or left a WAL epoch dangling), nothing works
+   until recovery runs — play the restart before touching the
+   engine. *)
+let heal t =
+  if Engine.open_epoch t.eng <> None || Fault.killed () || wal_dangling t
+  then begin
+    Metrics.incr (metrics t) "serve.auto_recoveries";
+    let r = Engine.recover t.eng in
+    if r.Engine.recovered_epoch <> None then refresh_snapshot t
+  end
+
+(* ---------- requests ---------- *)
+
+type served = Live | Degraded
+
+type reply = {
+  decision : Requester.decision;
+  served : served;
+  attempts : int;
+}
+
+let backoff t n =
+  let cap =
+    min t.config.backoff_max_s
+      (t.config.backoff_base_s *. (2.0 ** float_of_int (n - 1)))
+  in
+  t.config.sleep (Prng.float t.rng (max cap 0.0))
+
+(* Deny-by-default answer from the snapshot.  Sound because the
+   snapshot is a copy of a committed materialization and mutations
+   never commit while degraded; if the epochs disagree anyway the
+   snapshot is stale and everything is denied. *)
+let degraded_decision t expr =
+  let m = metrics t in
+  Metrics.incr m "serve.degraded";
+  let snap = t.snapshot in
+  if snap.sign_epoch <> Engine.sign_epoch t.eng then begin
+    Metrics.incr m "serve.degraded_stale";
+    Requester.Denied { blocked = 0 }
+  end
+  else
+    let ids =
+      Xmlac_xpath.Eval.eval snap.doc expr
+      |> List.map (fun n -> n.Tree.id)
+      |> List.sort_uniq compare
+    in
+    Requester.decide ~ids ~accessible:(fun id ->
+        match Tree.find snap.doc id with
+        | Some n -> Cam.lookup snap.cam n = Tree.Plus
+        | None -> false)
+
+let live_request t kind br query =
+  let m = metrics t in
+  let attempts = ref 0 in
+  match
+    Deadline.with_budget
+      ~label:("request." ^ Engine.backend_kind_to_string kind)
+      ?ticks:t.config.deadline_ticks ?seconds:t.config.deadline_seconds
+      (fun () ->
+        let rec go n =
+          attempts := n;
+          try Engine.request t.eng kind query
+          with Fault.Transient _ when n <= t.config.max_retries ->
+            Metrics.incr m "serve.retries";
+            backoff t n;
+            go (n + 1)
+        in
+        go 1)
+  with
+  | decision ->
+      Breaker.record br ~ok:true;
+      Ok { decision; served = Live; attempts = !attempts }
+  | exception exn ->
+      Breaker.record br ~ok:false;
+      let err = typed_error ~attempts:!attempts exn in
+      Metrics.incr m "serve.errors";
+      Metrics.incr m ("serve.errors." ^ error_class_to_string err.class_);
+      Error err
+
+let request t kind query =
+  Metrics.time (metrics t) "serve.request" (fun () ->
+      match Requester.parse_or_fail query with
+      | exception Invalid_argument msg ->
+          (* Says nothing about backend health: don't feed the
+             breaker. *)
+          Metrics.incr (metrics t) "serve.parse_errors";
+          Error { class_ = Fatal; site = "parse"; attempts = 0; message = msg }
+      | expr -> (
+          heal t;
+          let br = breaker t kind in
+          match Breaker.admit br with
+          | `Reject ->
+              Ok { decision = degraded_decision t expr; served = Degraded;
+                   attempts = 0 }
+          | `Admit -> live_request t kind br query))
+
+(* ---------- mutations ---------- *)
+
+let some_breaker_open t =
+  List.exists (fun (_, br) -> Breaker.state br = Breaker.Open) t.breakers
+
+let record_all t ~ok =
+  List.iter (fun (_, br) -> Breaker.record br ~ok) t.breakers
+
+(* Attribute a failure to the backend its fault site names; a site
+   that names no backend (wal, cam, ...) counts against all of them —
+   the mutation path crosses every store. *)
+let record_failure t site =
+  let prefixed p =
+    let p = p ^ "." in
+    String.length site >= String.length p
+    && String.sub site 0 (String.length p) = p
+  in
+  let kind =
+    if prefixed "native" then Some Engine.Native
+    else if prefixed "row" then Some Engine.Row_sql
+    else if prefixed "column" then Some Engine.Column_sql
+    else None
+  in
+  match kind with
+  | Some k -> Breaker.record (breaker t k) ~ok:false
+  | None -> record_all t ~ok:false
+
+let enqueue t mu =
+  let m = metrics t in
+  if List.length t.queue >= t.config.queue_capacity then begin
+    Metrics.incr m "serve.queue_rejected";
+    Error
+      {
+        class_ = Transient;
+        site = "serve.queue";
+        attempts = 0;
+        message = "degraded and mutation queue full";
+      }
+  end
+  else begin
+    t.queue <- t.queue @ [ mu ];
+    Metrics.incr m "serve.queued";
+    Ok (Queued (List.length t.queue))
+  end
+
+let apply_mutation t = function
+  | Update q -> Engine.update t.eng q
+  | Insert { at; fragment } -> Engine.insert t.eng ~at ~fragment
+
+let run_mutation t mu =
+  let m = metrics t in
+  let rec go n =
+    (* A retried attempt may follow a fault that left a WAL epoch
+       dangling; clear it before applying again. *)
+    heal t;
+    match
+      Deadline.with_budget ~label:"mutation" ?ticks:t.config.deadline_ticks
+        ?seconds:t.config.deadline_seconds
+        (fun () -> apply_mutation t mu)
+    with
+    | stats ->
+        record_all t ~ok:true;
+        refresh_snapshot t;
+        Ok (Applied stats)
+    | exception exn -> (
+        let err = typed_error ~attempts:n exn in
+        if Engine.open_epoch t.eng <> None || Fault.killed () then begin
+          (* The fault interrupted the epoch: play the restart.
+             Structural operations recover by roll-forward — the
+             mutation committed anyway. *)
+          Metrics.incr m "serve.auto_recoveries";
+          let r = Engine.recover t.eng in
+          refresh_snapshot t;
+          if r.Engine.direction = `Forward then begin
+            Metrics.incr m "serve.recovered_mutations";
+            record_failure t err.site;
+            Ok Recovered
+          end
+          else if err.class_ = Transient && n <= t.config.max_retries then begin
+            Metrics.incr m "serve.retries";
+            backoff t n;
+            go (n + 1)
+          end
+          else begin
+            record_failure t err.site;
+            Metrics.incr m "serve.errors";
+            Metrics.incr m
+              ("serve.errors." ^ error_class_to_string err.class_);
+            Error err
+          end
+        end
+        else if err.class_ = Transient && n <= t.config.max_retries then begin
+          (* Fault before the epoch opened: plain retry. *)
+          Metrics.incr m "serve.retries";
+          backoff t n;
+          go (n + 1)
+        end
+        else begin
+          record_failure t err.site;
+          Metrics.incr m "serve.errors";
+          Metrics.incr m ("serve.errors." ^ error_class_to_string err.class_);
+          Error err
+        end)
+  in
+  go 1
+
+let mutate t mu =
+  Metrics.time (metrics t) "serve.mutate" (fun () ->
+      heal t;
+      if some_breaker_open t then enqueue t mu else run_mutation t mu)
+
+let update t q = mutate t (Update q)
+let insert t ~at ~fragment = mutate t (Insert { at; fragment })
+
+let drain t =
+  heal t;
+  let rec go acc =
+    if some_breaker_open t then List.rev acc
+    else
+      match t.queue with
+      | [] -> List.rev acc
+      | mu :: rest ->
+          t.queue <- rest;
+          let r = run_mutation t mu in
+          go ((mu, r) :: acc)
+  in
+  go []
+
+(* ---------- health ---------- *)
+
+type health = {
+  breakers : (Engine.backend_kind * Breaker.state) list;
+  trips : int;
+  open_epoch : int option;
+  queued_mutations : int;
+  snapshot_epoch : int;
+  committed_epoch : int;
+  degraded : bool;
+}
+
+let health (t : t) =
+  let states = List.map (fun (k, br) -> (k, Breaker.state br)) t.breakers in
+  {
+    breakers = states;
+    trips = List.fold_left (fun acc (_, br) -> acc + Breaker.trips br) 0
+        t.breakers;
+    open_epoch = Engine.open_epoch t.eng;
+    queued_mutations = List.length t.queue;
+    snapshot_epoch = t.snapshot.sign_epoch;
+    committed_epoch = Engine.sign_epoch t.eng;
+    degraded = List.exists (fun (_, s) -> s <> Breaker.Closed) states;
+  }
+
+let healthy h =
+  (not h.degraded) && h.open_epoch = None && h.queued_mutations = 0
+
+let pp_health ppf h =
+  List.iter
+    (fun (k, s) ->
+      Format.fprintf ppf "breaker %-10s %s@."
+        (Engine.backend_kind_to_string k)
+        (Breaker.state_to_string s))
+    h.breakers;
+  Format.fprintf ppf "trips       %d@." h.trips;
+  Format.fprintf ppf "open epoch  %s@."
+    (match h.open_epoch with None -> "none" | Some e -> string_of_int e);
+  Format.fprintf ppf "queued      %d@." h.queued_mutations;
+  Format.fprintf ppf "snapshot    epoch %d (committed %d)@." h.snapshot_epoch
+    h.committed_epoch;
+  Format.fprintf ppf "status      %s@."
+    (if healthy h then "healthy"
+     else if h.degraded then "degraded"
+     else "recovering")

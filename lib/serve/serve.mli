@@ -1,0 +1,175 @@
+(** The resilient serving layer: every request and mutation reaches
+    the {!Xmlac_core.Engine} through this module, which adds the four
+    ingredients the bare engine deliberately omits —
+
+    {ul
+    {- {e deadlines}: each live call runs under a cooperative
+       {!Xmlac_util.Deadline} budget (ticks for deterministic tests,
+       seconds for wall-clock), checked at the evaluation checkpoints
+       threaded through [Requester] and [Cam];}
+    {- {e typed errors}: raw exceptions never escape — every failure
+       is classified ({!error_class}) and returned as data, so callers
+       can tell a retryable blip from corrupt storage;}
+    {- {e retries}: transient faults ({!Xmlac_util.Fault.Transient})
+       are retried with jittered exponential backoff, bounded by
+       [max_retries];}
+    {- {e circuit breaking + fail-closed degradation}: each backend
+       owns a {!Breaker}; while one is open its requests are answered
+       {e deny-by-default} from the last coherent snapshot of the
+       committed materialization, and mutations queue (bounded) or are
+       rejected.  A degraded answer can only {e deny} more than the
+       healthy path would — never grant more (the fail-closed
+       invariant the soak tests replay under seeded fault
+       schedules).}}
+
+    The layer also self-heals: if a fault killed the process mid-epoch
+    (open epoch, poisoned fault registry), the next call through the
+    layer runs {!Xmlac_core.Engine.recover} before doing anything
+    else, and a mutation whose recovery rolled {e forward} is reported
+    as {!mutation_outcome.Recovered} — committed, just not on the
+    first try. *)
+
+module Engine := Xmlac_core.Engine
+
+(** {1 Error taxonomy} *)
+
+type error_class =
+  | Transient  (** Retryable: injected fault, queue full. *)
+  | Timeout  (** Deadline budget exhausted mid-evaluation. *)
+  | Corrupt  (** Storage integrity failure (checksum, torn record). *)
+  | Fatal  (** Everything else: parse errors, crashes, bugs. *)
+
+val error_class_to_string : error_class -> string
+
+type error = {
+  class_ : error_class;
+  site : string;  (** Fault point, deadline label, or ["parse"]. *)
+  attempts : int;  (** Live attempts made (0 = never reached engine). *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Configuration} *)
+
+type config = {
+  deadline_ticks : int option;
+      (** Checkpoint budget per live call; [None] = unbounded. *)
+  deadline_seconds : float option;
+      (** Wall-clock budget per live call; [None] = unbounded. *)
+  max_retries : int;  (** Retries after the first attempt. *)
+  backoff_base_s : float;  (** First retry's maximum backoff. *)
+  backoff_max_s : float;  (** Backoff growth cap. *)
+  sleep : float -> unit;
+      (** Called with each jittered backoff delay.  Defaults to a
+          no-op so tests and benches never actually wait. *)
+  breaker : Breaker.config;
+  queue_capacity : int;
+      (** Mutations held while degraded; beyond this they are
+          rejected with a [Transient] error. *)
+  seed : int64;  (** Seeds the backoff jitter. *)
+}
+
+val default_config : config
+(** No deadline, [max_retries = 2], base/cap 5ms/100ms, no-op sleep,
+    {!Breaker.default_config}, [queue_capacity = 16], seed 1. *)
+
+type t
+
+val create : ?config:config -> Engine.t -> t
+(** Wraps an engine: one breaker per backend (named after the
+    backend, metrics mirrored into the engine's registry) and an
+    initial degradation snapshot of the committed materialization. *)
+
+val engine : t -> Engine.t
+val config : t -> config
+val breaker : t -> Engine.backend_kind -> Breaker.t
+
+(** {1 Requests} *)
+
+type served =
+  | Live  (** Answered by the engine. *)
+  | Degraded  (** Answered deny-by-default from the snapshot. *)
+
+type reply = {
+  decision : Xmlac_core.Requester.decision;
+  served : served;
+  attempts : int;  (** Live attempts behind this reply. *)
+}
+
+val request :
+  t -> Engine.backend_kind -> string -> (reply, error) result
+(** The resilient request path.  Parse errors return a [Fatal] error
+    without consulting the breaker (they say nothing about backend
+    health).  A closed/half-open breaker admits the call: it runs
+    under the configured deadline with transient retries, and its
+    outcome feeds the breaker.  An open breaker rejects it and the
+    reply is served [Degraded] from the snapshot: the decision is the
+    all-or-nothing rule over the snapshot's CAM when the snapshot
+    still matches the committed epoch, and a blanket denial when it
+    does not — degradation never grants what the live path would
+    deny. *)
+
+(** {1 Mutations} *)
+
+type mutation =
+  | Update of string  (** Delete update, XPath string. *)
+  | Insert of { at : string; fragment : Xmlac_xml.Tree.t }
+
+type mutation_outcome =
+  | Applied of (Engine.backend_kind * Xmlac_core.Reannotator.stats) list
+      (** Committed on the live path. *)
+  | Recovered
+      (** A fault interrupted the epoch; roll-forward recovery
+          committed the operation anyway. *)
+  | Queued of int
+      (** Held for {!drain} while degraded; payload is the queue
+          length after enqueue. *)
+
+val mutate : t -> mutation -> (mutation_outcome, error) result
+(** Applies the mutation through every store.  While any breaker is
+    open the mutation is queued (or rejected once [queue_capacity] is
+    reached) — the degradation snapshot stays coherent with the
+    committed epoch precisely because nothing commits while degraded.
+    On the live path, transient faults that left no epoch open are
+    retried; faults that interrupted an epoch trigger automatic
+    recovery ([Recovered] when it rolled forward).  A successful
+    mutation refreshes the snapshot. *)
+
+val update : t -> string -> (mutation_outcome, error) result
+val insert :
+  t -> at:string -> fragment:Xmlac_xml.Tree.t ->
+  (mutation_outcome, error) result
+
+val queued : t -> int
+
+val drain : t -> (mutation * (mutation_outcome, error) result) list
+(** Replays queued mutations in order once no breaker is open.
+    Stops early (leaving the rest queued) if a breaker re-opens
+    mid-drain; a mutation that fails for its own reasons is reported
+    and {e not} re-queued.  Returns the attempted mutations with
+    their outcomes; empty while still degraded. *)
+
+(** {1 Health} *)
+
+type health = {
+  breakers : (Engine.backend_kind * Breaker.state) list;
+  trips : int;  (** Lifetime trips across all breakers. *)
+  open_epoch : int option;
+  queued_mutations : int;
+  snapshot_epoch : int;  (** Committed epoch the snapshot captures. *)
+  committed_epoch : int;
+  degraded : bool;  (** Some breaker is not closed. *)
+}
+
+val health : t -> health
+val healthy : health -> bool
+(** All breakers closed, no open epoch, queue empty. *)
+
+val pp_health : Format.formatter -> health -> unit
+(** Deterministic, time-free — safe for golden CLI transcripts. *)
+
+val refresh_snapshot : t -> unit
+(** Re-capture the degradation snapshot from the current committed
+    materialization.  Call after mutating the engine behind the
+    layer's back. *)

@@ -1,4 +1,5 @@
 exception Crash of string
+exception Transient of string
 
 let seed_env_var = "XMLAC_FAULT_SEED"
 
@@ -23,25 +24,49 @@ let armed_points : (string, armed) Hashtbl.t = Hashtbl.create 16
 let all_prob = ref None
 let dead = ref None (* Some site once a trigger fired *)
 
-let arm name = function
+(* Recoverable faults live in their own table: a transient trigger
+   raises [Transient] without killing the registry, so the caller may
+   retry — the serve layer's containment model. *)
+let transient_points : (string, armed) Hashtbl.t = Hashtbl.create 16
+let all_transient_prob = ref None
+let transient_count = ref 0
+
+let check_trigger ~what = function
   | After n ->
-      if n < 1 then invalid_arg "Fault.arm: After n needs n >= 1";
-      Hashtbl.replace armed_points name (Count (ref n))
+      if n < 1 then
+        invalid_arg (Printf.sprintf "Fault.%s: After n needs n >= 1" what);
+      Count (ref n)
   | Prob p ->
       if not (p >= 0.0 && p <= 1.0) then
-        invalid_arg "Fault.arm: Prob p needs 0 <= p <= 1";
-      Hashtbl.replace armed_points name (P p)
+        invalid_arg (Printf.sprintf "Fault.%s: Prob p needs 0 <= p <= 1" what);
+      P p
+
+let arm name trigger =
+  Hashtbl.replace armed_points name (check_trigger ~what:"arm" trigger)
+
+let arm_transient name trigger =
+  Hashtbl.replace transient_points name
+    (check_trigger ~what:"arm_transient" trigger)
 
 let arm_all ~prob =
   if not (prob >= 0.0 && prob <= 1.0) then
     invalid_arg "Fault.arm_all: prob must be in [0, 1]";
   all_prob := Some prob
 
-let disarm name = Hashtbl.remove armed_points name
+let arm_all_transient ~prob =
+  if not (prob >= 0.0 && prob <= 1.0) then
+    invalid_arg "Fault.arm_all_transient: prob must be in [0, 1]";
+  all_transient_prob := Some prob
+
+let disarm name =
+  Hashtbl.remove armed_points name;
+  Hashtbl.remove transient_points name
 
 let disarm_all () =
   Hashtbl.reset armed_points;
-  all_prob := None
+  all_prob := None;
+  Hashtbl.reset transient_points;
+  all_transient_prob := None
 
 let killed () = !dead <> None
 let crash_site () = !dead
@@ -49,6 +74,10 @@ let crash_site () = !dead
 let fire name =
   dead := Some name;
   raise (Crash name)
+
+let fire_transient name =
+  incr transient_count;
+  raise (Transient name)
 
 let point name =
   (match !dead with
@@ -58,7 +87,7 @@ let point name =
   | None -> ());
   Hashtbl.replace registry name
     (1 + Option.value (Hashtbl.find_opt registry name) ~default:0);
-  match Hashtbl.find_opt armed_points name with
+  (match Hashtbl.find_opt armed_points name with
   | Some (Count r) ->
       decr r;
       if !r <= 0 then fire name
@@ -66,6 +95,21 @@ let point name =
   | None -> (
       match !all_prob with
       | Some p when Prng.bernoulli !rng p -> fire name
+      | _ -> ()));
+  match Hashtbl.find_opt transient_points name with
+  | Some (Count r) ->
+      decr r;
+      if !r <= 0 then begin
+        (* Counted transients are one-shot: the fault clears itself, so
+           a retry of the same operation goes through — the recoverable
+           half of the fault model. *)
+        Hashtbl.remove transient_points name;
+        fire_transient name
+      end
+  | Some (P p) -> if Prng.bernoulli !rng p then fire_transient name
+  | None -> (
+      match !all_transient_prob with
+      | Some p when Prng.bernoulli !rng p -> fire_transient name
       | _ -> ())
 
 let recover () =
@@ -74,6 +118,7 @@ let recover () =
 
 let reset () =
   recover ();
+  transient_count := 0;
   let names = Hashtbl.fold (fun name _ acc -> name :: acc) registry [] in
   List.iter (fun name -> Hashtbl.replace registry name 0) names
 
@@ -83,3 +128,4 @@ let registered () =
 
 let hits name = Option.value (Hashtbl.find_opt registry name) ~default:0
 let total_hits () = Hashtbl.fold (fun _ n acc -> acc + n) registry 0
+let transient_fires () = !transient_count

@@ -19,12 +19,27 @@
     restart — calls {!recover} to clear the flag and disarm all
     triggers before repairing the stores.
 
+    Besides crashes the registry models {e recoverable} faults: a
+    transient trigger ({!arm_transient}, {!arm_all_transient}) makes
+    {!point} raise {!Transient} without killing the process — the I/O
+    hiccup, lock timeout or dropped connection class of failure the
+    serving layer ({!Xmlac_serve.Serve}) retries with backoff and
+    feeds into its circuit breakers.  Counted transients are one-shot
+    (the fault clears itself once fired), so a bounded retry
+    deterministically succeeds; probabilistic transients persist until
+    disarmed.
+
     The state is global (one "process", one crash), which is exactly
     the model being simulated; tests that arm faults must
     {!recover}/{!reset} between cases. *)
 
 exception Crash of string
 (** Raised by {!point}, carrying the fault point's name. *)
+
+exception Transient of string
+(** Raised by {!point} when a {e transient} trigger fires, carrying the
+    fault point's name.  The registry is {e not} killed: the caller may
+    retry the failed operation. *)
 
 val seed_env_var : string
 (** ["XMLAC_FAULT_SEED"] — read once at startup; when set, seeds the
@@ -48,14 +63,30 @@ val arm_all : prob:float -> unit
 (** Arm {e every} point — including ones not yet registered — with a
     probabilistic trigger; individually armed points keep their own. *)
 
+val arm_transient : string -> trigger -> unit
+(** Arm one named point with a {e recoverable} trigger: when it fires,
+    {!point} raises {!Transient} and the process survives.  A counted
+    transient ([After n]) fires once and disarms itself; a
+    probabilistic one fires independently on every hit.  Crash and
+    transient arms on the same point coexist (the crash trigger is
+    checked first). *)
+
+val arm_all_transient : prob:float -> unit
+(** Arm every point with a probabilistic transient trigger;
+    individually armed transients keep their own. *)
+
 val disarm : string -> unit
+(** Clears both the crash and the transient arm of the point. *)
+
 val disarm_all : unit -> unit
-(** Also clears the {!arm_all} probability. *)
+(** Also clears the {!arm_all} and {!arm_all_transient}
+    probabilities. *)
 
 val point : string -> unit
 (** Registers the point's name and counts the hit.  Raises {!Crash}
-    when the point's trigger fires, or — once {!killed} — immediately,
-    naming the original crash site. *)
+    when the point's crash trigger fires, or — once {!killed} —
+    immediately, naming the original crash site; raises {!Transient}
+    when a transient trigger fires. *)
 
 val killed : unit -> bool
 (** A crash has fired and {!recover} has not yet run. *)
@@ -80,3 +111,8 @@ val hits : string -> int
 (** Times the named point was passed (0 if never). *)
 
 val total_hits : unit -> int
+
+val transient_fires : unit -> int
+(** Transient faults raised since the last {!reset} — the injected
+    error count the resilience bench reports alongside its latency
+    figures. *)

@@ -293,6 +293,39 @@ let test_open_epoch_guard () =
     (Engine.consistent eng);
   Fault.reset ()
 
+(* Recovery is idempotent: once a crash has been resolved, a second
+   recover is a pure no-op — no epoch bump, no cache clear, no counter
+   movement.  (The serving layer leans on this: its self-healing path
+   may race a caller that already recovered.) *)
+let test_recover_idempotent () =
+  Fault.reset ();
+  let eng = (hospital_fixture ()) () in
+  annotate_all eng;
+  Fault.arm "wal.commit" (Fault.After 1);
+  (match Engine.update eng "//patient/treatment" with
+  | _ -> Alcotest.fail "armed commit did not crash"
+  | exception Fault.Crash _ -> ());
+  let r1 = Engine.recover eng in
+  Alcotest.(check bool) "first recovery resolved the epoch" true
+    (r1.Engine.recovered_epoch <> None);
+  let m = Engine.metrics eng in
+  let observe () =
+    ( Engine.sign_epoch eng,
+      Engine.epoch eng,
+      Metrics.counter m "recovery.runs",
+      Metrics.counter m "recovery.wal_dropped",
+      accessible_sets eng )
+  in
+  let before = observe () in
+  let r2 = Engine.recover eng in
+  Alcotest.(check bool) "second recovery reports nothing to do" true
+    (r2.Engine.direction = `None
+    && r2.Engine.recovered_epoch = None
+    && r2.Engine.wal_dropped = 0
+    && r2.Engine.signs_rolled_back = 0);
+  Alcotest.(check bool) "no observable movement" true (before = observe ());
+  Fault.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* PR 2's divergence path: external sign mutation, refresh, bypass,
    recovery of lockstep and CAM borrowing.  *)
@@ -429,6 +462,7 @@ let () =
           tc "insert epoch" test_crash_sweep_insert;
           tc "fault point coverage" test_fault_point_coverage;
           tc "open epoch guards mutations" test_open_epoch_guard;
+          tc "recover is idempotent" test_recover_idempotent;
         ] );
       ( "divergence",
         [ tc "bypass and restore" test_divergence_bypass_and_restore ] );

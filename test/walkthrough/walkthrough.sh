@@ -44,3 +44,5 @@ show update annotated.xml auction.policy --dtd xmark "//person/creditcard" -o up
 show query updated.xml auction.policy "//person"
 show explain auction.policy --dtd xmark --doc site.xml \
   --request "//person/name" --request "//open_auction"
+show health auction.policy --dtd xmark --doc site.xml \
+  --requests 24 --fault-rate 0.25 --seed 7
