@@ -40,6 +40,10 @@ bench:
 bench-full:
 	dune exec bench/main.exe -- --full
 
+# Multi-subject shared-pass annotation at role counts 1/8/64/512.
+bench-multirole:
+	dune exec bench/main.exe -- -e multirole
+
 doc:
 	dune build @doc
 
@@ -49,4 +53,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test ci soak bench bench-full doc quickstart clean
+.PHONY: all test ci soak bench bench-full bench-multirole doc quickstart clean

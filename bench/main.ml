@@ -19,6 +19,7 @@ type experiment =
   | Ablation
   | AblationPlan
   | Requester
+  | Multirole
   | Recovery
   | Resilience
   | Micro
@@ -34,6 +35,7 @@ let experiment_of_string = function
   | "ablation" -> Ok Ablation
   | "ablation-plan" -> Ok AblationPlan
   | "requester" -> Ok Requester
+  | "multirole" -> Ok Multirole
   | "recovery" -> Ok Recovery
   | "resilience" -> Ok Resilience
   | "micro" -> Ok Micro
@@ -55,6 +57,7 @@ let experiment_conv =
           | Ablation -> "ablation"
           | AblationPlan -> "ablation-plan"
           | Requester -> "requester"
+          | Multirole -> "multirole"
           | Recovery -> "recovery"
           | Resilience -> "resilience"
           | Micro -> "micro"
@@ -70,6 +73,7 @@ let run_one cfg = function
   | Ablation -> Exp_ablation.run cfg
   | AblationPlan -> Exp_ablation_plan.run cfg
   | Requester -> Exp_requester.run cfg
+  | Multirole -> Exp_multirole.run cfg
   | Recovery -> Exp_recovery.run cfg
   | Resilience -> Exp_resilience.run cfg
   | Micro -> Exp_micro.run ()
@@ -83,6 +87,7 @@ let run_one cfg = function
       Exp_ablation.run cfg;
       Exp_ablation_plan.run cfg;
       Exp_requester.run cfg;
+      Exp_multirole.run cfg;
       Exp_recovery.run cfg;
       Exp_resilience.run cfg;
       Exp_micro.run ()
@@ -112,7 +117,8 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     ablation-plan, requester, recovery, resilience, micro or all (repeatable)."
+     ablation-plan, requester, multirole, recovery, resilience, micro or all \
+     (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)
 

@@ -7,6 +7,7 @@
      optimize   remove redundant rules from a policy file
      annotate   materialize a policy's annotations into a document
      query      all-or-nothing request against an annotated document
+     roles      list a policy's role DAG with per-role rule counts
      update     delete update + trigger-based partial re-annotation
      depend     show rule expansions and the dependency graph
      explain    annotation plan, rewrite trace, lowerings, timings
@@ -56,7 +57,14 @@ let load_doc path =
 let load_policy path =
   match Policy_io.parse (read_file path) with
   | Ok p -> p
-  | Error m -> die "cannot parse policy %s: %s" path m
+  | Error e -> die "cannot parse policy %s: %s" path (Policy_io.error_to_string e)
+
+let role_bit policy role =
+  match Subject.index (Policy.subjects policy) role with
+  | Some i -> i
+  | None ->
+      die "unknown role %S (declared: %s)" role
+        (String.concat ", " (Policy.roles policy))
 
 (* --- generate ----------------------------------------------------- *)
 
@@ -160,13 +168,32 @@ let annotate_cmd =
 
 (* --- query -------------------------------------------------------- *)
 
-let query doc_path policy_path q =
+let query doc_path policy_path subject q =
   let doc = load_doc doc_path in
   let policy = load_policy policy_path in
   let backend = Xml_backend.make doc in
-  (* The document is expected to be annotated already (sign
-     attributes); unannotated nodes fall back to the default. *)
-  let decision = Requester.request_string backend ~default:(Policy.ds policy) q in
+  let decision =
+    match subject with
+    | None ->
+        (* The document is expected to be annotated already (sign
+           attributes); unannotated nodes fall back to the default. *)
+        Requester.request_string backend ~default:(Policy.ds policy) q
+    | Some role ->
+        (* Per-role request: materialize every role's bitmap with the
+           shared pass, then check the named role's bit. *)
+        let idx = role_bit policy role in
+        let _ = Annotator.annotate_subjects backend policy in
+        let default = Policy.default_bits policy in
+        let sign id =
+          if Xmlac_util.Bitset.mem idx (Backend.effective_bits backend ~default id)
+          then Tree.Plus
+          else Tree.Minus
+        in
+        Requester.request_via ~sign backend (Requester.parse_or_fail q)
+  in
+  (match subject with
+  | Some role -> Printf.printf "as %s: " role
+  | None -> ());
   Format.printf "%a@." Requester.pp decision;
   match decision with
   | Requester.Granted ids ->
@@ -186,11 +213,45 @@ let query doc_path policy_path q =
 let query_cmd =
   let doc_path = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml") in
   let policy_path = Arg.(required & pos 1 (some file) None & info [] ~docv:"POLICY") in
+  let subject =
+    Arg.(value & opt (some string) None
+         & info [ "subject" ]
+             ~doc:"Answer for this role's bitmap slice instead of the \
+                   anonymous single-subject signs.")
+  in
   let q = Arg.(required & pos 2 (some string) None & info [] ~docv:"XPATH") in
   Cmd.v
     (Cmd.info "query"
        ~doc:"All-or-nothing request against an annotated document (exit code 3 on denial).")
-    Term.(const query $ doc_path $ policy_path $ q)
+    Term.(const query $ doc_path $ policy_path $ subject $ q)
+
+(* --- roles -------------------------------------------------------- *)
+
+let roles policy_path =
+  let policy = load_policy policy_path in
+  let subjects = Policy.subjects policy in
+  Printf.printf "%d role(s), %d rule(s)\n" (Policy.role_count policy)
+    (Policy.size policy);
+  List.iter
+    (fun (d : Subject.decl) ->
+      let name = d.Subject.name in
+      let applicable = Policy.rules (Policy.for_subject policy name) in
+      Printf.printf "  %-12s inherits [%s]  ds %s  cr %s  %d rule(s)\n" name
+        (String.concat ", " d.Subject.inherits)
+        (Rule.effect_to_string (Policy.resolved_ds policy name))
+        (Rule.effect_to_string (Policy.resolved_cr policy name))
+        (List.length applicable))
+    (Subject.decls subjects)
+
+let roles_cmd =
+  let policy_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY")
+  in
+  Cmd.v
+    (Cmd.info "roles"
+       ~doc:"List a policy's role DAG: inheritance, resolved default and \
+             conflict semantics, and how many rules reach each role.")
+    Term.(const roles $ policy_path)
 
 (* --- update ------------------------------------------------------- *)
 
@@ -253,7 +314,7 @@ let depend_cmd =
 
 (* --- explain ------------------------------------------------------ *)
 
-let explain policy_path dtd_name doc_path raw requests =
+let explain policy_path dtd_name doc_path raw requests subjects =
   let policy = load_policy policy_path in
   let policy = if raw then policy else Optimizer.optimize_policy policy in
   let dtd = load_dtd dtd_name in
@@ -263,14 +324,23 @@ let explain policy_path dtd_name doc_path raw requests =
   Format.printf "%a@." Plan.pp_explain
     (Plan.explain ~schema:sg ~mapping ?doc (Plan.of_policy policy));
   (* The request fast lane, exercised live: each --request query is
-     answered twice through an engine (cold, then cached), then the
+     answered twice through an engine (cold, then cached) — for the
+     anonymous subject and for every --subject role — then the
      fast-lane counters and stage timings are dumped. *)
   match (requests, doc) with
   | [], _ -> ()
   | _ :: _, None -> die "--request needs --doc to build an engine"
   | queries, Some doc ->
       let eng = Engine.create ~optimize:(not raw) ~dtd ~policy doc in
+      List.iter (fun role -> ignore (role_bit (Engine.policy eng) role)) subjects;
       let _ = Engine.annotate_all eng in
+      if subjects <> [] then begin
+        let _, stats = List.hd (Engine.annotate_subjects_all eng) in
+        Printf.printf
+          "subjects: %d role(s), %d distinct plan(s), %d shared\n"
+          stats.Annotator.roles stats.Annotator.distinct_plans
+          stats.Annotator.shared_plans
+      end;
       print_endline "requester fast lane:";
       Format.printf "  %a@." Cam.pp (Engine.cam eng);
       List.iter
@@ -278,8 +348,36 @@ let explain policy_path dtd_name doc_path raw requests =
           let cold = Engine.request eng Engine.Native q in
           let warm = Engine.request eng Engine.Native q in
           ignore cold;
-          Format.printf "  %-40s -> %a@." q Requester.pp warm)
+          Format.printf "  %-40s -> %a@." q Requester.pp warm;
+          List.iter
+            (fun role ->
+              let cold = Engine.request ~subject:role eng Engine.Native q in
+              let warm = Engine.request ~subject:role eng Engine.Native q in
+              ignore cold;
+              Format.printf "  %-40s -> %a@."
+                (Printf.sprintf "%s [as %s]" q role)
+                Requester.pp warm)
+            subjects)
         queries;
+      let m = Engine.metrics eng in
+      List.iter
+        (fun role ->
+          let c name = Xmlac_util.Metrics.counter m (name ^ "." ^ role) in
+          let hits = c "cache.hits" and misses = c "cache.misses" in
+          (* Guard the rate against a role that never looked anything
+             up — 0/0 must print as n/a, not nan. *)
+          let rate =
+            if hits + misses = 0 then "n/a"
+            else
+              Printf.sprintf "%.2f"
+                (float_of_int hits /. float_of_int (hits + misses))
+          in
+          Printf.printf
+            "  as %-12s cache %d hit(s) / %d miss(es) (rate %s), %d \
+             eviction(s), cam lookups %d, bypass %d\n"
+            role hits misses rate (c "cache.evictions") (c "cam.lookups")
+            (c "fastlane.bypass"))
+        subjects;
       let dc = Engine.decision_cache eng in
       Printf.printf
         "  decision cache    %d/%d entries, %d eviction(s), %d stale \
@@ -328,10 +426,18 @@ let explain_cmd =
                    hits, CAM lookups, per-stage timings. Needs --doc. \
                    Repeatable.")
   in
+  let subjects =
+    Arg.(value & opt_all string []
+         & info [ "subject" ]
+             ~doc:"Also run each --request as this role (shared-pass bitmap \
+                   annotation first) and report its per-role cache and CAM \
+                   counters. Repeatable.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show a policy's annotation plan: rewrite trace, SQL and XQuery lowerings, timings.")
-    Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw $ requests)
+    Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw $ requests
+          $ subjects)
 
 (* --- recover ------------------------------------------------------ *)
 
@@ -609,6 +715,6 @@ let () =
        (Cmd.group info
           [
             generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
-            query_cmd; update_cmd; depend_cmd; explain_cmd; view_cmd; cam_cmd;
-            recover_cmd; health_cmd;
+            query_cmd; roles_cmd; update_cmd; depend_cmd; explain_cmd;
+            view_cmd; cam_cmd; recover_cmd; health_cmd;
           ]))

@@ -22,3 +22,92 @@ let annotate ?schema ?(rewrite = true) backend policy =
 let coverage stats =
   if stats.total = 0 then 0.0
   else float_of_int stats.marked /. float_of_int stats.total
+
+(* --- multi-subject shared pass ------------------------------------- *)
+
+type subjects_stats = {
+  roles : int;
+  distinct_plans : int;
+  shared_plans : int;
+  stamped : int;
+  bits_total : int;
+}
+
+(* One plan per role, in bit order: the role's projected single-subject
+   policy compiled and rewritten exactly as the single-plan path
+   would.  Roles whose projections coincide — same resolved ds/cr and
+   the same applicable rules (structurally equal resources, equal
+   effects) — compile (and rewrite, the expensive step) once and share
+   the plan value; a miss only costs the duplicate compile it would
+   have paid anyway. *)
+let compile_subjects ?schema ?(rewrite = true) policy =
+  let same_proj p q =
+    Policy.ds p = Policy.ds q
+    && Policy.cr p = Policy.cr q
+    &&
+    let rp = Policy.rules p and rq = Policy.rules q in
+    List.length rp = List.length rq
+    && List.for_all2
+         (fun (a : Rule.t) (b : Rule.t) ->
+           a.Rule.effect = b.Rule.effect
+           && (a.Rule.resource == b.Rule.resource
+              || Xmlac_xpath.Ast.equal_expr a.Rule.resource b.Rule.resource))
+         rp rq
+  in
+  let compiled = ref [] in
+  List.map
+    (fun role ->
+      let p = Policy.for_subject policy role in
+      match List.find_opt (fun (q, _) -> same_proj p q) !compiled with
+      | Some (_, plan) -> plan
+      | None ->
+          let plan = Plan.of_policy p in
+          let plan = if rewrite then Plan.rewrite ?schema plan else plan in
+          compiled := (p, plan) :: !compiled;
+          plan)
+    (Policy.roles policy)
+
+(* Group the role plans by answer equivalence ({!Plan.equiv}), keeping
+   bit order within and across groups.  Marks may differ inside a
+   group — the answer is shared, the fan-out direction is per role. *)
+let share ?schema plans =
+  let groups = ref [] (* (representative, (role, value) list ref), reversed *) in
+  List.iteri
+    (fun role (p : Plan.t) ->
+      let value = p.Plan.mark = Rule.Plus in
+      match
+        (* Plans deduplicated by [compile_subjects] are physically
+           shared, so most lookups resolve on [==] without touching
+           the containment-based equivalence check. *)
+        List.find_opt
+          (fun (rep, _) -> rep == p || Plan.equiv ?schema rep p)
+          !groups
+      with
+      | Some (_, members) -> members := (role, value) :: !members
+      | None -> groups := (p, ref [ (role, value) ]) :: !groups)
+    plans;
+  List.rev_map (fun (rep, members) -> (rep, List.rev !members)) !groups
+
+let annotate_subjects ?schema ?(rewrite = true) (backend : Backend.t) policy =
+  let default = Policy.default_bits policy in
+  backend.Backend.reset_bits ~default;
+  let plans = compile_subjects ?schema ~rewrite policy in
+  let groups = share ?schema plans in
+  let answers = backend.Backend.eval_plans (List.map fst groups) in
+  let stamped =
+    List.fold_left2
+      (fun acc (_, members) ids ->
+        List.fold_left
+          (fun acc (role, value) ->
+            acc + backend.Backend.set_bits_ids ids ~role ~value ~default)
+          acc members)
+      0 groups answers
+  in
+  let roles = List.length plans in
+  {
+    roles;
+    distinct_plans = List.length groups;
+    shared_plans = roles - List.length groups;
+    stamped;
+    bits_total = backend.Backend.node_count ();
+  }

@@ -1,14 +1,20 @@
 module Tree = Xmlac_xml.Tree
 module Fault = Xmlac_util.Fault
+module Bitset = Xmlac_util.Bitset
 
 type t = {
   name : string;
   eval_ids : Xmlac_xpath.Ast.expr -> int list;
   eval_plan : Plan.t -> int list;
+  eval_plans : Plan.t list -> int list list;
   set_sign_ids : int list -> Tree.sign -> int;
   reset_signs : default:Tree.sign -> unit;
   sign_of : int -> Tree.sign option;
   restore_sign : int -> Tree.sign option -> unit;
+  set_bits_ids : int list -> role:int -> value:bool -> default:Bitset.t -> int;
+  reset_bits : default:Bitset.t -> unit;
+  bits_of : int -> Bitset.t option;
+  restore_bits : int -> Bitset.t option -> unit;
   delete_update : Xmlac_xpath.Ast.expr -> int;
   has_node : int -> bool;
   live_ids : unit -> int list;
@@ -21,9 +27,17 @@ let effective_sign t ~default id =
 let accessible_ids t ~default =
   List.filter (fun id -> effective_sign t ~default id = Tree.Plus) (t.live_ids ())
 
-(* Fault wrapper: sign stamping loops node by node with a fault point
-   between writes, so a counted trigger kills the simulated process
-   with a genuinely partial multi-row update — the paper's
+let effective_bits t ~default id =
+  match t.bits_of id with Some b -> b | None -> default
+
+let accessible_ids_role t ~default ~role =
+  List.filter
+    (fun id -> Bitset.mem role (effective_bits t ~default id))
+    (t.live_ids ())
+
+(* Fault wrapper: sign and bitmap stamping loop node by node with a
+   fault point between writes, so a counted trigger kills the simulated
+   process with a genuinely partial multi-row update — the paper's
    inconsistent-materialization hazard made reproducible. *)
 let with_faults ~prefix b =
   let pt op = Fault.point (prefix ^ "." ^ op) in
@@ -36,6 +50,13 @@ let with_faults ~prefix b =
            triggers can fail a query without touching any state. *)
         pt "eval";
         b.eval_ids e);
+    eval_plans =
+      (fun ps ->
+        List.map
+          (fun p ->
+            pt "eval";
+            b.eval_plan p)
+          ps);
     set_sign_ids =
       (fun ids sign ->
         List.fold_left
@@ -47,19 +68,37 @@ let with_faults ~prefix b =
       (fun ~default ->
         pt "reset_signs";
         b.reset_signs ~default);
+    set_bits_ids =
+      (fun ids ~role ~value ~default ->
+        List.fold_left
+          (fun acc id ->
+            pt "set_bits";
+            acc + b.set_bits_ids [ id ] ~role ~value ~default)
+          0 ids);
+    reset_bits =
+      (fun ~default ->
+        pt "reset_bits";
+        b.reset_bits ~default);
     delete_update =
       (fun e ->
         pt "delete";
         b.delete_update e);
   }
 
+(* The two annotation representations journal separately: a sign epoch
+   only touches signs, a multi-role epoch only bitmaps, and rollback
+   must restore exactly what the epoch overwrote. *)
+type entry = Sign of int * Tree.sign option | Bits of int * Bitset.t option
+
 type journal = {
   mutable active : bool;
-  mutable entries : (int * Tree.sign option) list; (* newest first *)
+  mutable entries : entry list; (* newest first *)
   mutable restore : (int -> Tree.sign option -> unit) option;
+  mutable restore_bits : (int -> Bitset.t option -> unit) option;
 }
 
-let journal () = { active = false; entries = []; restore = None }
+let journal () =
+  { active = false; entries = []; restore = None; restore_bits = None }
 
 let journal_begin j =
   j.active <- true;
@@ -73,9 +112,14 @@ let journal_entries j = List.length j.entries
 
 let journaled j b =
   j.restore <- Some b.restore_sign;
+  j.restore_bits <- Some b.restore_bits;
   let record id =
     if j.active && b.has_node id then
-      j.entries <- (id, b.sign_of id) :: j.entries
+      j.entries <- Sign (id, b.sign_of id) :: j.entries
+  in
+  let record_bits id =
+    if j.active && b.has_node id then
+      j.entries <- Bits (id, b.bits_of id) :: j.entries
   in
   {
     b with
@@ -90,17 +134,34 @@ let journaled j b =
       (fun ~default ->
         if j.active then List.iter record (b.live_ids ());
         b.reset_signs ~default);
+    set_bits_ids =
+      (fun ids ~role ~value ~default ->
+        List.fold_left
+          (fun acc id ->
+            record_bits id;
+            acc + b.set_bits_ids [ id ] ~role ~value ~default)
+          0 ids);
+    reset_bits =
+      (fun ~default ->
+        if j.active then List.iter record_bits (b.live_ids ());
+        b.reset_bits ~default);
   }
 
 let rollback j =
-  match j.restore with
-  | None ->
+  let restore_entry e =
+    match (e, j.restore, j.restore_bits) with
+    | Sign (id, s), Some restore, _ -> restore id s
+    | Bits (id, b), _, Some restore -> restore id b
+    | _ -> ()
+  in
+  match (j.restore, j.restore_bits) with
+  | None, None ->
       journal_stop j;
       0
-  | Some restore ->
+  | _ ->
       let n = List.length j.entries in
       (* Newest first: an id journaled twice is finally restored to its
          oldest (pre-epoch) value. *)
-      List.iter (fun (id, s) -> restore id s) j.entries;
+      List.iter restore_entry j.entries;
       journal_stop j;
       n

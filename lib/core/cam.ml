@@ -2,37 +2,58 @@ module Tree = Xmlac_xml.Tree
 
 type t = {
   default : Tree.sign;
+  read : Tree.node -> Tree.sign option;
+      (** The annotation this map indexes — the node's sign slot for the
+          classic single-subject map, one role's bitmap slice for a
+          per-role map. *)
   map : (int, Tree.sign) Hashtbl.t;  (** Sign-change points only. *)
   mutable node_count : int;
 }
 
-let effective default (n : Tree.node) =
-  match n.Tree.sign with Some s -> s | None -> default
+let effective t (n : Tree.node) =
+  match t.read n with Some s -> s | None -> t.default
 
 (* Set or clear the entry at [n] given its parent's effective sign:
    an entry exists exactly where the effective sign flips. *)
 let refresh_entry t inherited (n : Tree.node) =
-  let eff = effective t.default n in
+  let eff = effective t n in
   if eff <> inherited then Hashtbl.replace t.map n.Tree.id eff
   else Hashtbl.remove t.map n.Tree.id
 
 let parent_effective t (n : Tree.node) =
   match Tree.parent n with
-  | Some p -> effective t.default p
+  | Some p -> effective t p
   | None -> t.default
 
-let build doc ~default =
-  let t = { default; map = Hashtbl.create 64; node_count = Tree.size doc } in
+let sign_slot (n : Tree.node) = n.Tree.sign
+
+let build_with doc ~default ~read =
+  let t =
+    { default; read; map = Hashtbl.create 64; node_count = Tree.size doc }
+  in
   (* Preorder walk carrying the parent's effective sign: record an
      entry exactly where the effective sign flips.  Effective follows
-     the store's model — the node's explicit sign, or the default. *)
+     the store's model — the node's explicit annotation, or the
+     default. *)
   let rec go inherited (n : Tree.node) =
-    let eff = effective default n in
+    let eff = effective t n in
     if eff <> inherited then Hashtbl.replace t.map n.Tree.id eff;
     List.iter (go eff) n.Tree.children
   in
   go default (Tree.root doc);
   t
+
+let build doc ~default = build_with doc ~default ~read:sign_slot
+
+(* One role's view of the bitmap slots: a node with a materialized
+   bitmap is explicitly Plus/Minus on the role's bit; an unannotated
+   node inherits the role's default like an unsigned node does. *)
+let build_role doc ~role ~default =
+  build_with doc ~default ~read:(fun n ->
+      match n.Tree.bits with
+      | None -> None
+      | Some b ->
+          Some (if Xmlac_util.Bitset.mem role b then Tree.Plus else Tree.Minus))
 
 let lookup t (n : Tree.node) =
   Xmlac_util.Deadline.checkpoint ();
@@ -82,7 +103,7 @@ let rebuild_subtree t doc ~root =
       let rec go inherited (n : Tree.node) =
         incr count;
         refresh_entry t inherited n;
-        List.iter (go (effective t.default n)) n.Tree.children
+        List.iter (go (effective t n)) n.Tree.children
       in
       go (parent_effective t r) r;
       t.node_count <- Tree.size doc;

@@ -26,6 +26,23 @@ val build : Xmlac_xml.Tree.t -> default:Xmlac_xml.Tree.sign -> t
     unannotated node's effective sign is [default] — the native
     store's interpretation (Section 5.2). *)
 
+val build_with :
+  Xmlac_xml.Tree.t ->
+  default:Xmlac_xml.Tree.sign ->
+  read:(Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign option) ->
+  t
+(** {!build} generalized over the annotation being indexed: [read]
+    extracts a node's explicit sign (or [None] for unannotated) and is
+    retained for incremental maintenance.  [build] is
+    [build_with ~read:(fun n -> n.sign)]. *)
+
+val build_role :
+  Xmlac_xml.Tree.t -> role:int -> default:Xmlac_xml.Tree.sign -> t
+(** A per-role map over the bitmap slots: a node with a materialized
+    bitmap reads as [Plus] iff the role's bit is set; an unannotated
+    node inherits [default] (the role's resolved default
+    semantics). *)
+
 val lookup : t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign
 (** Effective sign of a node of the document the map was built from.
     O(depth) worst case; O(1) when the node itself carries an entry.

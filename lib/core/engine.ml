@@ -26,6 +26,7 @@ type trigger_mode = Paper_mode | Overlap_mode
    recovery needs to finish (or abandon) it after a simulated crash. *)
 type op =
   | Op_annotate of backend_kind
+  | Op_annotate_subjects of backend_kind
   | Op_update of string
   | Op_insert of { at : string; fragment : Tree.t }
 
@@ -33,6 +34,7 @@ type open_op = {
   num : int;  (** The epoch number being attempted. *)
   op : op;
   saved_annotated : backend_kind list;
+  saved_bits_annotated : backend_kind list;
   saved_divergent : bool;
   mutable prepared : (backend_kind * Reannotator.prepared) list;
       (** Pre-mutation repair state, stashed per backend just before
@@ -77,8 +79,15 @@ type t = {
   metrics : Metrics.t;
   cache : Requester.decision Decision_cache.t;
   mutable cam : Cam.t;
+  (* Per-role CAMs over the native store's bitmap slices, built lazily
+     on the first subject request for that role and dropped whenever
+     the bitmaps (or the document) may have moved — with hundreds of
+     roles an eager rebuild of every map per epoch would dwarf the
+     annotation itself. *)
+  role_cams : (int, Cam.t) Hashtbl.t;
   mutable epoch : int;
   mutable annotated : backend_kind list;
+  mutable bits_annotated : backend_kind list;
   mutable divergent : bool;
   (* Sign epochs: [sign_epoch] is the last committed epoch (monotone,
      never reused downward); [open_op] is the uncommitted one a crash
@@ -99,11 +108,12 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
     else (None, policy)
   in
   let default_sign = Rule.effect_to_string (Policy.ds policy) in
+  let default_bits = Policy.default_bits policy in
   let native_doc = Tree.copy doc in
   let row_db = Db.create Table.Row in
   let col_db = Db.create Table.Column in
-  let _ = Xmlac_shrex.Shred.load mapping ~default_sign row_db doc in
-  let _ = Xmlac_shrex.Shred.load mapping ~default_sign col_db doc in
+  let _ = Xmlac_shrex.Shred.load mapping ~default_sign ~default_bits row_db doc in
+  let _ = Xmlac_shrex.Shred.load mapping ~default_sign ~default_bits col_db doc in
   (* The bulk load above is the base image (checkpoint); journaling
      starts with the first mutating epoch, as with a real bulk load
      that bypasses the WAL. *)
@@ -146,8 +156,10 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
         ~on_stale:(Metrics.add metrics "cache.stale_drops")
         ();
     cam = Cam.build native_doc ~default:(Policy.ds policy);
+    role_cams = Hashtbl.create 8;
     epoch = 0;
     annotated = [];
+    bits_annotated = [];
     divergent = false;
     sign_epoch = 0;
     open_op = None;
@@ -196,7 +208,40 @@ let in_lockstep t =
   | [] -> not t.divergent
   | ks -> List.length ks = 3
 
+(* Same reasoning for the bitmap layer: the stores' bitmaps agree when
+   none has run the shared pass yet (all carry the load-time default
+   bitmap) or all three have. *)
+let in_bits_lockstep t =
+  match t.bits_annotated with
+  | [] -> not t.divergent
+  | ks -> List.length ks = 3
+
 let bump_epoch t = t.epoch <- t.epoch + 1
+
+let role_index t role =
+  match Subject.index (Policy.subjects t.policy) role with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Engine: unknown role %S (declared: %s)" role
+           (String.concat ", " (Policy.roles t.policy)))
+
+let role_cam_idx t idx =
+  match Hashtbl.find_opt t.role_cams idx with
+  | Some c -> c
+  | None ->
+      let role = Subject.name_of (Policy.subjects t.policy) idx in
+      let c =
+        Cam.build_role t.doc ~role:idx
+          ~default:(Policy.resolved_ds t.policy role)
+      in
+      Hashtbl.replace t.role_cams idx c;
+      Metrics.incr t.metrics "cam.role_builds";
+      c
+
+let role_cam t role = role_cam_idx t (role_index t role)
+
+let drop_role_cams t = Hashtbl.reset t.role_cams
 
 let rebuild_cam t =
   Metrics.incr t.metrics "cam.full_rebuilds";
@@ -238,6 +283,8 @@ let refresh t =
   Decision_cache.clear t.cache;
   t.divergent <- true;
   t.annotated <- [];
+  t.bits_annotated <- [];
+  drop_role_cams t;
   rebuild_cam t
 
 (* --- sign epochs --------------------------------------------------- *)
@@ -263,6 +310,7 @@ let begin_op t op =
       num;
       op;
       saved_annotated = t.annotated;
+      saved_bits_annotated = t.bits_annotated;
       saved_divergent = t.divergent;
       prepared = [];
       applied = [];
@@ -295,6 +343,39 @@ let annotate t kind =
 let annotate_all t =
   List.map (fun k -> (k, annotate t k)) all_backend_kinds
 
+let annotate_subjects t kind =
+  let o = begin_op t (Op_annotate_subjects kind) in
+  let stats =
+    Metrics.time t.metrics "annotate.subjects" (fun () ->
+        Annotator.annotate_subjects ~schema:t.sg (backend t kind) t.policy)
+  in
+  bump_epoch t;
+  if not (List.mem kind t.bits_annotated) then
+    t.bits_annotated <- kind :: t.bits_annotated;
+  if kind = Native then drop_role_cams t;
+  commit_op t o;
+  stats
+
+let annotate_subjects_all t =
+  List.map (fun k -> (k, annotate_subjects t k)) all_backend_kinds
+
+(* Structural updates repair the single-subject signs incrementally
+   (Reannotator), but the bitmap layer has no incremental repair yet —
+   once the shared pass has materialized a store's bitmaps, keep them
+   fresh by re-running it after the mutation, inside the same epoch
+   (so a crash rolls the whole thing back together). *)
+let reannotate_bits t =
+  match t.bits_annotated with
+  | [] -> ()
+  | ks ->
+      Metrics.incr t.metrics "subjects.reannotations";
+      List.iter
+        (fun k ->
+          ignore
+            (Annotator.annotate_subjects ~schema:t.sg (backend t k) t.policy))
+        (List.rev ks);
+      drop_role_cams t
+
 let effective_plus t b id =
   Backend.effective_sign b ~default:(Policy.ds t.policy) id = Tree.Plus
 
@@ -324,22 +405,94 @@ let request_uncached t kind expr =
     Requester.request b ~default:(Policy.ds t.policy) expr
   end
 
-let request t kind query =
+(* The role's per-node sign, read off the bitmap layer: explicit where
+   a bitmap is materialized, the role's resolved default elsewhere
+   ([effective_bits] falls back to the policy's default bitmap, whose
+   bit for [idx] encodes exactly that default). *)
+let role_sign t b idx id =
+  if
+    Xmlac_util.Bitset.mem idx
+      (Backend.effective_bits b ~default:(Policy.default_bits t.policy) id)
+  then Tree.Plus
+  else Tree.Minus
+
+let request_uncached_subject t kind (role, idx) expr =
+  let b = backend t kind in
+  if kind = Native || in_bits_lockstep t then begin
+    let ids =
+      Metrics.time t.metrics "request.eval" (fun () ->
+          b.Backend.eval_ids expr)
+    in
+    Metrics.add t.metrics "cam.lookups" (List.length ids);
+    Metrics.add t.metrics ("cam.lookups." ^ role) (List.length ids);
+    let cam = role_cam_idx t idx in
+    Metrics.time t.metrics "request.check" (fun () ->
+        Requester.decide ~ids ~accessible:(fun id ->
+            match Tree.find t.doc id with
+            | Some n -> Cam.lookup cam n = Tree.Plus
+            | None -> role_sign t b idx id = Tree.Plus))
+  end
+  else begin
+    (* This store's bitmaps have diverged from the native ones; the
+       per-role CAM does not describe it, so read its bits directly. *)
+    Metrics.incr t.metrics "fastlane.bypass";
+    Metrics.incr t.metrics ("fastlane.bypass." ^ role);
+    Requester.request_via ~sign:(role_sign t b idx) b expr
+  end
+
+let request ?subject t kind query =
   Metrics.time t.metrics "request" (fun () ->
-      let key = backend_kind_to_string kind ^ "\x00" ^ query in
+      (* Resolve (and validate) the role before consulting the cache so
+         an unknown role raises instead of poisoning a cache slot. *)
+      let subj =
+        match subject with
+        | None -> None
+        | Some role -> Some (role, role_index t role)
+      in
+      let key =
+        match subject with
+        | None -> backend_kind_to_string kind ^ "\x00" ^ query
+        | Some role ->
+            backend_kind_to_string kind ^ "\x00@" ^ role ^ "\x00" ^ query
+      in
+      let tally base =
+        Metrics.incr t.metrics base;
+        match subject with
+        | Some role -> Metrics.incr t.metrics (base ^ "." ^ role)
+        | None -> ()
+      in
       match Decision_cache.find t.cache ~epoch:t.epoch key with
       | Some d ->
-          Metrics.incr t.metrics "cache.hits";
+          tally "cache.hits";
           d
       | None ->
-          Metrics.incr t.metrics "cache.misses";
-          let d = request_uncached t kind (Requester.parse_or_fail query) in
+          tally "cache.misses";
+          let expr = Requester.parse_or_fail query in
+          let evictions_before = Decision_cache.evictions t.cache in
+          let d =
+            match subj with
+            | None -> request_uncached t kind expr
+            | Some s -> request_uncached_subject t kind s expr
+          in
           Decision_cache.add t.cache ~epoch:t.epoch key d;
+          (match subject with
+          | Some role ->
+              (* Attribute evictions to the role whose insert forced
+                 them — the per-role churn [explain --request] shows. *)
+              let forced =
+                Decision_cache.evictions t.cache - evictions_before
+              in
+              if forced > 0 then
+                Metrics.add t.metrics ("cache.evictions." ^ role) forced
+          | None -> ());
           d)
 
-let request_direct t kind query =
-  Requester.request (backend t kind) ~default:(Policy.ds t.policy)
-    (Requester.parse_or_fail query)
+let request_direct ?subject t kind query =
+  let b = backend t kind in
+  let expr = Requester.parse_or_fail query in
+  match subject with
+  | None -> Requester.request b ~default:(Policy.ds t.policy) expr
+  | Some role -> Requester.request_via ~sign:(role_sign t b (role_index t role)) b expr
 
 let update t query =
   let expr = Xmlac_xpath.Parser.parse_exn query in
@@ -361,6 +514,8 @@ let update t query =
   (match List.assoc_opt Native stats with
   | Some s -> maintain_cam t ~changed:s.Reannotator.changed ~roots:[]
   | None -> rebuild_cam t);
+  reannotate_bits t;
+  drop_role_cams t;
   commit_op t o;
   stats
 
@@ -384,6 +539,7 @@ let insert t ~at ~fragment =
   let frag_root = (Tree.root fragment).Tree.name in
   let touched = insert_touched ~at_expr ~frag_root in
   let default_sign = Rule.effect_to_string (Policy.ds t.policy) in
+  let default_bits = Policy.default_bits t.policy in
   let o = begin_op t (Op_insert { at; fragment = Tree.copy fragment }) in
   let native_stats =
     let prepared =
@@ -404,7 +560,8 @@ let insert t ~at ~fragment =
     List.iter
       (fun root ->
         ignore
-          (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign db root))
+          (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign
+             ~default_bits db root))
       o.new_roots;
     o.applied <- kind :: o.applied;
     ( kind,
@@ -418,6 +575,8 @@ let insert t ~at ~fragment =
   bump_epoch t;
   maintain_cam t ~changed:native_stats.Reannotator.changed
     ~roots:(List.map (fun (n : Tree.node) -> n.Tree.id) o.new_roots);
+  reannotate_bits t;
+  drop_role_cams t;
   commit_op t o;
   stats
 
@@ -442,7 +601,7 @@ let roll_forward t o =
       (Reannotator.finish ~schema:t.sg b t.depend prepared ~deleted_roots)
   in
   match o.op with
-  | Op_annotate _ -> assert false
+  | Op_annotate _ | Op_annotate_subjects _ -> assert false
   | Op_update query ->
       let expr = Xmlac_xpath.Parser.parse_exn query in
       List.iter
@@ -462,13 +621,14 @@ let roll_forward t o =
           in
           o.new_roots <- roots;
           List.length roots);
+      let default_bits = Policy.default_bits t.policy in
       let rel kind db =
         resume kind ~touched ~apply:(fun _ ->
             List.iter
               (fun root ->
                 ignore
-                  (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign db
-                     root))
+                  (Xmlac_shrex.Shred.insert_subtree t.mapping ~default_sign
+                     ~default_bits db root))
               o.new_roots;
             List.length o.new_roots)
       in
@@ -511,22 +671,27 @@ let recover t =
       let signs_rolled_back =
         List.fold_left (fun acc (_, j) -> acc + Backend.rollback j) 0 t.journals
       in
+      t.annotated <- o.saved_annotated;
+      t.bits_annotated <- o.saved_bits_annotated;
+      t.divergent <- o.saved_divergent;
       let direction, repaired =
         match o.op with
-        | Op_annotate _ ->
-            (* Sign-only operation: the rollback above already restored
-               the pre-epoch materialization on every store. *)
+        | Op_annotate _ | Op_annotate_subjects _ ->
+            (* Annotation-only operation: the rollback above already
+               restored the pre-epoch materialization — signs and
+               bitmaps both — on every store. *)
             (`Back, [])
         | Op_update _ | Op_insert _ ->
             (* Structural operation: the mutation may have reached some
                stores; re-applying it everywhere and re-running the
                repair converges all three on the post-operation
-               state. *)
+               state.  Stores whose bitmaps were materialized get the
+               shared pass re-run too, as the uninterrupted operation
+               would have. *)
             roll_forward t o;
+            reannotate_bits t;
             (`Forward, all_backend_kinds)
       in
-      t.annotated <- o.saved_annotated;
-      t.divergent <- o.saved_divergent;
       Wal.commit_epoch t.wal_row o.num;
       Wal.commit_epoch t.wal_col o.num;
       (* The epoch number is consumed either way — the counter never
@@ -537,6 +702,7 @@ let recover t =
       bump_epoch t;
       Decision_cache.clear t.cache;
       rebuild_cam t;
+      drop_role_cams t;
       Metrics.add t.metrics "recovery.signs_rolled_back" signs_rolled_back;
       {
         recovered_epoch = Some o.num;
@@ -553,3 +719,18 @@ let consistent t =
   match List.map (accessible t) all_backend_kinds with
   | [ a; b; c ] -> a = b && b = c
   | _ -> assert false
+
+let accessible_subject t kind role =
+  let idx = role_index t role in
+  Backend.accessible_ids_role (backend t kind)
+    ~default:(Policy.default_bits t.policy) ~role:idx
+
+let consistent_subjects t =
+  List.for_all
+    (fun role ->
+      match
+        List.map (fun k -> accessible_subject t k role) all_backend_kinds
+      with
+      | [ a; b; c ] -> a = b && b = c
+      | _ -> assert false)
+    (Policy.roles t.policy)

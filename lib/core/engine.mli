@@ -101,20 +101,39 @@ val annotate : t -> backend_kind -> Annotator.stats
 
 val annotate_all : t -> (backend_kind * Annotator.stats) list
 
-val request : t -> backend_kind -> string -> Requester.decision
+val annotate_subjects : t -> backend_kind -> Annotator.subjects_stats
+(** The multi-subject shared pass ({!Annotator.annotate_subjects}) on
+    one store: every role's accessibility materialized as per-node
+    bitmaps in one annotation epoch.  Bumps the {!epoch}; the native
+    store's per-role CAMs are dropped and rebuilt lazily on the next
+    subject request.  Crash-safe like {!annotate}: a killed pass is
+    rolled back through the bitmap journal, never leaving a partial
+    bitmap visible. *)
+
+val annotate_subjects_all : t -> (backend_kind * Annotator.subjects_stats) list
+
+val request : ?subject:string -> t -> backend_kind -> string -> Requester.decision
 (** All-or-nothing query answering against the materialized
     annotations — the fast lane: served from the decision cache when
     the query repeats within the current epoch, otherwise evaluated
     through the backend with accessibility checked against the CAM.
     (While the stores are known to have diverged — some but not all
     annotated — relational requests read their own signs directly.)
-    @raise Invalid_argument on a malformed query, naming the
-    expression and error position. *)
 
-val request_direct : t -> backend_kind -> string -> Requester.decision
-(** The pre-fast-lane path: per-node sign reads through the backend,
-    no CAM, no cache.  The baseline the [exp_requester] bench and the
-    equivalence property compare {!request} against.
+    [~subject] answers for one role instead of the anonymous
+    single-subject view: accessibility is checked against that role's
+    bitmap slice — through a lazily built per-role CAM on the fast
+    path — the cache key carries the role, and the cache/CAM counters
+    are additionally tallied per role ([cache.hits.<role>], …).
+    @raise Invalid_argument on a malformed query (naming the
+    expression and error position) or an unknown role. *)
+
+val request_direct :
+  ?subject:string -> t -> backend_kind -> string -> Requester.decision
+(** The pre-fast-lane path: per-node sign (or per-role bit) reads
+    through the backend, no CAM, no cache.  The baseline the
+    [exp_requester] bench and the equivalence property compare
+    {!request} against.
     @raise Invalid_argument like {!request}. *)
 
 val update : t -> string -> (backend_kind * Reannotator.stats) list
@@ -139,6 +158,14 @@ val consistent : t -> bool
 
 val accessible : t -> backend_kind -> int list
 
+val accessible_subject : t -> backend_kind -> string -> int list
+(** One role's accessible ids off the store's effective bitmaps.
+    @raise Invalid_argument on an unknown role. *)
+
+val consistent_subjects : t -> bool
+(** {!consistent}, per role: every declared role's accessible set
+    agrees across all three stores' bitmap layers. *)
+
 (** {1 Fast-lane observability} *)
 
 val metrics : t -> Xmlac_util.Metrics.t
@@ -149,6 +176,13 @@ val metrics : t -> Xmlac_util.Metrics.t
 
 val cam : t -> Cam.t
 (** The engine's live CAM over the native store's signs. *)
+
+val role_cam : t -> string -> Cam.t
+(** The per-role CAM over the native store's bitmap slice for [role] —
+    built lazily on first use ([cam.role_builds]) and cached until the
+    bitmaps move ({!annotate_subjects}, {!update}, {!insert},
+    {!refresh}, {!recover}).
+    @raise Invalid_argument on an unknown role. *)
 
 val decision_cache : t -> Requester.decision Decision_cache.t
 (** The engine's bounded decision cache — exposed read-only in spirit

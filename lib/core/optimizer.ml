@@ -13,12 +13,16 @@ type report = {
 (* Figure 4, specialized to one effect class: repeatedly drop any rule
    contained in another surviving rule.  When two rules are mutually
    contained (equivalent), the earlier one wins, so exactly one
-   survives. *)
-let eliminate ~contained rules =
+   survives.  [covers r k] gates elimination on the subject dimension:
+   scope containment alone is unsound when the subsuming rule reaches
+   fewer roles than the one removed. *)
+let eliminate ~contained ~covers rules =
   let removals = ref [] in
   let keep kept (r : Rule.t) =
     match
-      List.find_opt (fun k -> contained r.Rule.resource k.Rule.resource) kept
+      List.find_opt
+        (fun k -> covers r k && contained r.Rule.resource k.Rule.resource)
+        kept
     with
     | Some k ->
         removals := { removed = r; because_of = k } :: !removals;
@@ -27,7 +31,8 @@ let eliminate ~contained rules =
         (* [r] survives for now, but may subsume earlier survivors. *)
         let kept, dropped =
           List.partition
-            (fun k -> not (contained k.Rule.resource r.Rule.resource))
+            (fun k ->
+              not (covers k r && contained k.Rule.resource r.Rule.resource))
             kept
         in
         List.iter
@@ -44,8 +49,18 @@ let optimize ?schema policy =
     | None -> C.contained_in
     | Some sg -> C.contained_in_schema sg
   in
-  let pos, rem_pos = eliminate ~contained (Policy.positive policy) in
-  let neg, rem_neg = eliminate ~contained (Policy.negative policy) in
+  (* Removing [r] in favour of [k] is sound only when [k] reaches every
+     role [r] does.  Coverage bitmaps are precomputed per rule — the
+     role closure walk is not free at 512 roles. *)
+  let coverage =
+    List.map (fun r -> (r, Policy.applicability policy r)) (Policy.rules policy)
+  in
+  let coverage_of (r : Rule.t) = List.assq r coverage in
+  let covers (r : Rule.t) (k : Rule.t) =
+    Xmlac_util.Bitset.subset (coverage_of r) (coverage_of k)
+  in
+  let pos, rem_pos = eliminate ~contained ~covers (Policy.positive policy) in
+  let neg, rem_neg = eliminate ~contained ~covers (Policy.negative policy) in
   (* Preserve the original interleaving among survivors. *)
   let surviving r = List.exists (fun k -> k == r) (pos @ neg) in
   let rules = List.filter surviving (Policy.rules policy) in

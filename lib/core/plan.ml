@@ -174,21 +174,76 @@ let rewrite_trace ?schema t =
 
 let rewrite ?schema t = fst (rewrite_trace ?schema t)
 
+(* --- equivalence (for cross-role plan sharing) --------------------- *)
+
+(* Whether two plans have provably identical answers on every document:
+   structural recursion, with [Scope]s compared up to mutual
+   containment so syntactic variants of the same path collapse.  Marks
+   are deliberately ignored — two roles can share one query evaluation
+   and fan the answer out with opposite marks. *)
+let equiv ?schema a b =
+  let scopes_equiv p q =
+    Xp.Ast.equal_expr p q
+    ||
+    let contained x y =
+      match schema with
+      | None -> Xp.Containment.contained_in x y
+      | Some sg -> Xp.Containment.contained_in_schema sg x y
+    in
+    contained p q && contained q p
+  in
+  let rec go a b =
+    match (a, b) with
+    | Empty, Empty -> true
+    | Scope p, Scope q -> scopes_equiv p q
+    | Union ps, Union qs ->
+        List.length ps = List.length qs && List.for_all2 go ps qs
+    | Except (a1, b1), Except (a2, b2) | Intersect (a1, b1), Intersect (a2, b2)
+      ->
+        go a1 a2 && go b1 b2
+    | Restrict (s1, p1), Restrict (s2, p2) -> Ids.equal s1 s2 && go p1 p2
+    | _ -> false
+  in
+  go a.query b.query
+
 (* --- native lowering ---------------------------------------------- *)
 
 let ids_of_table tbl = Hashtbl.fold (fun id () s -> Ids.add id s) tbl Ids.empty
 
-let rec eval_node doc = function
+let rec eval_node_memo memo doc = function
   | Empty -> Ids.empty
-  | Scope e -> ids_of_table (Xp.Eval.node_set doc e)
+  | Scope e -> (
+      match memo with
+      | None -> ids_of_table (Xp.Eval.node_set doc e)
+      | Some tbl -> (
+          let key = Xp.Pp.expr_to_string e in
+          match Hashtbl.find_opt tbl key with
+          | Some s -> s
+          | None ->
+              let s = ids_of_table (Xp.Eval.node_set doc e) in
+              Hashtbl.replace tbl key s;
+              s))
   | Union ps ->
-      List.fold_left (fun acc p -> Ids.union acc (eval_node doc p)) Ids.empty ps
-  | Except (a, b) -> Ids.diff (eval_node doc a) (eval_node doc b)
-  | Intersect (a, b) -> Ids.inter (eval_node doc a) (eval_node doc b)
-  | Restrict (s, p) -> Ids.inter s (eval_node doc p)
+      List.fold_left
+        (fun acc p -> Ids.union acc (eval_node_memo memo doc p))
+        Ids.empty ps
+  | Except (a, b) ->
+      Ids.diff (eval_node_memo memo doc a) (eval_node_memo memo doc b)
+  | Intersect (a, b) ->
+      Ids.inter (eval_node_memo memo doc a) (eval_node_memo memo doc b)
+  | Restrict (s, p) -> Ids.inter s (eval_node_memo memo doc p)
+
+let eval_node doc p = eval_node_memo None doc p
 
 let eval_native doc t = eval_node doc t.query
 let native_ids doc t = Ids.elements (eval_native doc t)
+
+(* One scope memo across a batch of plans: role plans from one policy
+   share most of their scopes, so each distinct XPath evaluates once
+   per document no matter how many roles reference it. *)
+let native_ids_shared doc ts =
+  let memo = Some (Hashtbl.create 32) in
+  List.map (fun t -> Ids.elements (eval_node_memo memo doc t.query)) ts
 
 (* --- relational lowering ------------------------------------------ *)
 

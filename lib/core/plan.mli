@@ -79,6 +79,14 @@ val scopes : t -> Xmlac_xpath.Ast.expr list
 
 val equal_node : node -> node -> bool
 
+val equiv : ?schema:Xmlac_xml.Schema_graph.t -> t -> t -> bool
+(** Whether two plans provably have the same answer on every document:
+    structural equality with [Scope]s compared up to mutual containment
+    ({!Xmlac_xpath.Containment}), so syntactic variants of one path
+    collapse.  Marks are ignored — two roles can share one evaluation
+    of a common query and fan the answer out under different marks.
+    Sound but incomplete: [false] only costs a duplicate evaluation. *)
+
 (** {1 Rewriting} *)
 
 type pass_stat = { pass : string; before : int; after : int }
@@ -119,6 +127,12 @@ val eval_native : Xmlac_xml.Tree.t -> t -> Ids.t
 
 val native_ids : Xmlac_xml.Tree.t -> t -> int list
 (** {!eval_native} as an ascending list. *)
+
+val native_ids_shared : Xmlac_xml.Tree.t -> t list -> int list list
+(** Evaluates a batch of plans over one document with a shared scope
+    memo: each distinct XPath (by printed form) is evaluated once no
+    matter how many plans reference it — the native store's half of the
+    multi-role shared annotation pass. *)
 
 val split_restriction : t -> Ids.t option * t
 (** Peels top-level restrictions off the query (intersecting nested

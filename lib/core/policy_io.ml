@@ -1,86 +1,281 @@
+type error = { line : int; pos : int; message : string }
+
+let error_to_string e =
+  Printf.sprintf "line %d, col %d: %s" e.line e.pos e.message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+exception Fail of error
+
+let fail ~line ~pos message = raise (Fail { line; pos; message })
+
 let effect_of_string = function
   | "allow" -> Some Rule.Plus
   | "deny" -> Some Rule.Minus
   | _ -> None
 
-let strip s = String.trim s
+let effect_word = function Rule.Plus -> "allow" | Rule.Minus -> "deny"
 
-let split_first_word s =
-  match String.index_opt s ' ' with
-  | None -> (s, "")
-  | Some i ->
-      (String.sub s 0 i, strip (String.sub s i (String.length s - i)))
+(* Cursor over one raw line: byte offsets, columns in errors are
+   offset + 1 so editors agree with them. *)
+let skip_ws s i =
+  let n = String.length s in
+  let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
+  go i
+
+let next_word s i =
+  let i = skip_ws s i in
+  let n = String.length s in
+  if i >= n then None
+  else
+    let j = ref i in
+    while !j < n && s.[!j] <> ' ' && s.[!j] <> '\t' do incr j done;
+    Some (String.sub s i (!j - i), i, !j)
+
+let rest_of_line s i =
+  let i = skip_ws s i in
+  String.trim (String.sub s i (String.length s - i))
+
+(* A role declaration as read, with enough positions to point errors
+   at the offending token rather than the whole line. *)
+type raw_decl = {
+  d_name : string;
+  d_line : int;
+  d_name_pos : int;
+  d_inherits : (string * int) list; (* (parent, column) *)
+  d_ds : Rule.effect option;
+  d_cr : Rule.effect option;
+}
+
+let parse_role_name ~line ~pos name =
+  if name = "" then fail ~line ~pos "expected role name";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> ()
+      | _ ->
+          fail ~line ~pos
+            (Printf.sprintf "invalid role name %S (use letters, digits, _, -)"
+               name))
+    name;
+  name
+
+let parse_role_list ~line ~pos s =
+  List.map
+    (fun part ->
+      let part = if String.length part > 0 && part.[0] = '@' then
+          String.sub part 1 (String.length part - 1)
+        else part
+      in
+      (parse_role_name ~line ~pos part, pos))
+    (String.split_on_char ',' s)
+
+(* role NAME [inherits a,b] [default allow|deny] [conflict allow|deny] *)
+let parse_role_decl ~line s i =
+  let name, name_pos, i =
+    match next_word s i with
+    | None -> fail ~line ~pos:(String.length s + 1) "expected role name"
+    | Some (w, p, j) -> (parse_role_name ~line ~pos:(p + 1) w, p + 1, j)
+  in
+  let rec clauses acc i =
+    match next_word s i with
+    | None -> acc
+    | Some ("inherits", p, j) -> (
+        if acc.d_inherits <> [] then fail ~line ~pos:(p + 1) "duplicate 'inherits'";
+        match next_word s j with
+        | None -> fail ~line ~pos:(j + 1) "expected role list after 'inherits'"
+        | Some (lst, lp, k) ->
+            clauses
+              { acc with d_inherits = parse_role_list ~line ~pos:(lp + 1) lst }
+              k)
+    | Some (("default" | "conflict") as kw, p, j) -> (
+        let already =
+          if kw = "default" then acc.d_ds <> None else acc.d_cr <> None
+        in
+        if already then fail ~line ~pos:(p + 1) (Printf.sprintf "duplicate %S" kw);
+        match next_word s j with
+        | Some (v, vp, k) -> (
+            match effect_of_string v with
+            | Some e ->
+                clauses
+                  (if kw = "default" then { acc with d_ds = Some e }
+                   else { acc with d_cr = Some e })
+                  k
+            | None ->
+                fail ~line ~pos:(vp + 1)
+                  (Printf.sprintf "expected '%s allow' or '%s deny'" kw kw))
+        | None ->
+            fail ~line ~pos:(j + 1)
+              (Printf.sprintf "expected '%s allow' or '%s deny'" kw kw))
+    | Some (w, p, _) ->
+        fail ~line ~pos:(p + 1) (Printf.sprintf "unknown role clause %S" w)
+  in
+  clauses
+    { d_name = name; d_line = line; d_name_pos = name_pos; d_inherits = [];
+      d_ds = None; d_cr = None }
+    i
+
+let reject_cycles decls =
+  let by_name = Hashtbl.create 16 in
+  List.iteri (fun i (d : raw_decl) -> Hashtbl.replace by_name d.d_name i) decls;
+  let arr = Array.of_list decls in
+  let state = Array.make (Array.length arr) `White in
+  let rec visit i trail =
+    match state.(i) with
+    | `Black -> ()
+    | `Grey ->
+        let d = arr.(i) in
+        fail ~line:d.d_line ~pos:d.d_name_pos
+          (Printf.sprintf "role inheritance cycle: %s"
+             (String.concat " -> " (List.rev (d.d_name :: trail))))
+    | `White ->
+        state.(i) <- `Grey;
+        List.iter
+          (fun (p, _) -> visit (Hashtbl.find by_name p) (arr.(i).d_name :: trail))
+          arr.(i).d_inherits;
+        state.(i) <- `Black
+  in
+  Array.iteri (fun i _ -> visit i []) arr
 
 let parse text =
-  let lines = String.split_on_char '\n' text in
-  let ds = ref None and cr = ref None in
-  let rules = ref [] in
-  let count = ref 0 in
-  let error = ref None in
-  List.iteri
-    (fun lineno raw ->
-      if !error = None then
-        let line = strip raw in
-        if line = "" || line.[0] = '#' then ()
+  try
+    let lines = String.split_on_char '\n' text in
+    let ds = ref None and cr = ref None in
+    let decls = ref [] (* reversed *) in
+    let rules = ref [] (* reversed *) in
+    let qualifiers = ref [] (* (line, pos, role) per qualified reference *) in
+    let count = ref 0 in
+    List.iteri
+      (fun lineno raw ->
+        let line = lineno + 1 in
+        let i = skip_ws raw 0 in
+        if i >= String.length raw || raw.[i] = '#' then ()
         else
-          let keyword, rest = split_first_word line in
-          let fail msg =
-            error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg)
-          in
-          match keyword with
-          | "default" -> (
-              match (!ds, effect_of_string rest) with
-              | Some _, _ -> fail "duplicate 'default'"
-              | None, Some e -> ds := Some e
-              | None, None -> fail "expected 'default allow' or 'default deny'")
-          | "conflict" -> (
-              match (!cr, effect_of_string rest) with
-              | Some _, _ -> fail "duplicate 'conflict'"
-              | None, Some e -> cr := Some e
-              | None, None -> fail "expected 'conflict allow' or 'conflict deny'")
-          | "allow" | "deny" -> (
-              let effect =
-                match effect_of_string keyword with
-                | Some e -> e
-                | None -> assert false
+          match next_word raw i with
+          | None -> ()
+          | Some ("role", _, j) ->
+              let d = parse_role_decl ~line raw j in
+              if List.exists (fun (o : raw_decl) -> o.d_name = d.d_name) !decls
+              then
+                fail ~line ~pos:d.d_name_pos
+                  (Printf.sprintf "duplicate role %S" d.d_name);
+              decls := d :: !decls
+          | Some ((("default" | "conflict") as kw), kwp, j) -> (
+              let slot = if kw = "default" then ds else cr in
+              match (!slot, effect_of_string (rest_of_line raw j)) with
+              | Some _, _ ->
+                  fail ~line ~pos:(kwp + 1)
+                    (Printf.sprintf "duplicate '%s'" kw)
+              | None, Some e -> slot := Some e
+              | None, None ->
+                  fail ~line ~pos:(kwp + 1)
+                    (Printf.sprintf "expected '%s allow' or '%s deny'" kw kw))
+          | Some ((("allow" | "deny") as kw), _, j) -> (
+              let effect = Option.get (effect_of_string kw) in
+              (* Optional subject qualifier: @role1,@role2 *)
+              let subjects, j =
+                match next_word raw j with
+                | Some (w, p, k) when String.length w > 0 && w.[0] = '@' ->
+                    let roles = parse_role_list ~line ~pos:(p + 1) w in
+                    List.iter
+                      (fun (r, pos) -> qualifiers := (line, pos, r) :: !qualifiers)
+                      roles;
+                    (List.map fst roles, k)
+                | _ -> ([], j)
               in
-              match Xmlac_xpath.Parser.parse rest with
+              let xp = rest_of_line raw j in
+              let xp_pos = skip_ws raw j + 1 in
+              if xp = "" then fail ~line ~pos:xp_pos "expected XPath expression";
+              match Xmlac_xpath.Parser.parse xp with
               | Ok resource ->
                   incr count;
                   rules :=
-                    Rule.make ~name:(Printf.sprintf "R%d" !count) ~resource effect
+                    Rule.make ~name:(Printf.sprintf "R%d" !count) ~subjects
+                      ~resource effect
                     :: !rules
               | Error e ->
-                  fail
-                    (Format.asprintf "bad XPath %S (%a)" rest
+                  fail ~line ~pos:xp_pos
+                    (Format.asprintf "bad XPath %S (%a)" xp
                        Xmlac_xpath.Parser.pp_error e))
-          | _ -> fail (Printf.sprintf "unknown keyword %S" keyword))
-    lines;
-  match !error with
-  | Some msg -> Error msg
-  | None ->
-      let ds = Option.value !ds ~default:Rule.Minus in
-      let cr = Option.value !cr ~default:Rule.Minus in
-      Ok (Policy.make ~ds ~cr (List.rev !rules))
+          | Some (w, p, _) ->
+              fail ~line ~pos:(p + 1) (Printf.sprintf "unknown keyword %S" w))
+      lines;
+    let decls = List.rev !decls in
+    (* Unknown parents, then cycles — each pointed at its declaration. *)
+    List.iter
+      (fun (d : raw_decl) ->
+        List.iter
+          (fun (p, pos) ->
+            if not (List.exists (fun (o : raw_decl) -> o.d_name = p) decls) then
+              fail ~line:d.d_line ~pos
+                (Printf.sprintf "role %S inherits unknown role %S" d.d_name p))
+          d.d_inherits)
+      decls;
+    reject_cycles decls;
+    let subjects =
+      match decls with
+      | [] -> Subject.solo
+      | ds ->
+          Subject.make_exn
+            (List.map
+               (fun (d : raw_decl) ->
+                 Subject.role
+                   ~inherits:(List.map fst d.d_inherits)
+                   ?ds:d.d_ds ?cr:d.d_cr d.d_name)
+               ds)
+    in
+    (* Qualified rules must name declared roles. *)
+    List.iter
+      (fun (line, pos, r) ->
+        if not (Subject.mem subjects r) then
+          fail ~line ~pos
+            (Printf.sprintf "unknown role %S in rule qualifier" r))
+      (List.rev !qualifiers);
+    let ds = Option.value !ds ~default:Rule.Minus in
+    let cr = Option.value !cr ~default:Rule.Minus in
+    Ok (Policy.make ~subjects ~ds ~cr (List.rev !rules))
+  with Fail e -> Error e
 
 let parse_exn text =
   match parse text with
   | Ok p -> p
-  | Error msg -> invalid_arg ("Policy_io.parse: " ^ msg)
-
-let effect_word = function Rule.Plus -> "allow" | Rule.Minus -> "deny"
+  | Error e -> invalid_arg ("Policy_io.parse: " ^ error_to_string e)
 
 let to_string policy =
   let buf = Buffer.create 256 in
+  let subjects = Policy.subjects policy in
+  if not (Subject.is_solo subjects) then
+    List.iter
+      (fun (d : Subject.decl) ->
+        Buffer.add_string buf (Printf.sprintf "role %s" d.Subject.name);
+        (match d.Subject.inherits with
+        | [] -> ()
+        | ps ->
+            Buffer.add_string buf
+              (Printf.sprintf " inherits %s" (String.concat "," ps)));
+        (match d.Subject.ds with
+        | Some e -> Buffer.add_string buf (" default " ^ effect_word e)
+        | None -> ());
+        (match d.Subject.cr with
+        | Some e -> Buffer.add_string buf (" conflict " ^ effect_word e)
+        | None -> ());
+        Buffer.add_char buf '\n')
+      (Subject.decls subjects);
   Buffer.add_string buf
     (Printf.sprintf "default %s\n" (effect_word (Policy.ds policy)));
   Buffer.add_string buf
     (Printf.sprintf "conflict %s\n" (effect_word (Policy.cr policy)));
   List.iter
     (fun (r : Rule.t) ->
+      let qual =
+        match r.Rule.subjects with
+        | [] -> ""
+        | ss -> " " ^ String.concat "," (List.map (fun s -> "@" ^ s) ss)
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s %s\n"
+        (Printf.sprintf "%s%s %s\n"
            (effect_word r.Rule.effect)
+           qual
            (Xmlac_xpath.Pp.expr_to_string r.Rule.resource)))
     (Policy.rules policy);
   Buffer.contents buf

@@ -5,22 +5,51 @@
 
     {[
       # hospital ward policy
+      role staff
+      role doctor inherits staff
+      role auditor default allow conflict allow
       default deny
       conflict deny
       allow //patient
-      allow //patient/name
-      deny  //patient[treatment]
-      deny  //patient[.//experimental]
+      allow @staff //patient/name
+      deny  @doctor,@auditor //patient[treatment]
       allow //regular
     ]}
 
     [default] and [conflict] each take [allow] or [deny] and may appear
-    at most once (both default to [deny], the common configuration);
-    every remaining non-comment line is [allow <xpath>] or
-    [deny <xpath>].  Rules are named R1, R2, ... in file order. *)
+    at most once (both default to [deny], the common configuration).
 
-val parse : string -> (Policy.t, string) result
+    [role NAME] declares a subject role; declaration order is the
+    role's bit index ({!Subject}).  Optional clauses, each at most
+    once: [inherits a,b] (parent roles — forward references are fine),
+    [default allow|deny] and [conflict allow|deny] (per-role
+    overrides).  A file with no [role] lines yields a single-subject
+    policy ({!Subject.solo}).
+
+    Every remaining non-comment line is [allow <xpath>] or
+    [deny <xpath>], optionally qualified with the roles it applies to:
+    [allow @doctor,@nurse <xpath>].  Unqualified rules apply to every
+    role.  Rules are named R1, R2, ... in file order.
+
+    Parsing is strict: duplicate or unknown roles, inheritance cycles,
+    and qualifiers naming undeclared roles are rejected with an
+    {!error} carrying the line and column of the offending token. *)
+
+type error = {
+  line : int;  (** 1-based. *)
+  pos : int;  (** 1-based column of the offending token. *)
+  message : string;
+}
+
+val error_to_string : error -> string
+(** ["line 3, col 7: unknown role \"nurse\" in rule qualifier"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Policy.t, error) result
+
 val parse_exn : string -> Policy.t
+(** @raise Invalid_argument with the rendered {!error}. *)
 
 val to_string : Policy.t -> string
 (** Round-trips through {!parse} (rule names are positional). *)

@@ -7,6 +7,8 @@ module Executor = Xmlac_reldb.Executor
 module Shred = Xmlac_shrex.Shred
 module Translate = Xmlac_shrex.Translate
 
+module Bitset = Xmlac_util.Bitset
+
 let sign_value s = Value.Str (Tree.sign_to_string s)
 
 (* Figure 6 resolves the table of every tuple in the annotation
@@ -40,21 +42,47 @@ let set_sign_ids mapping db ids sign =
     ids;
   !updated
 
+(* Bitmap writes go through the executor like every other UPDATE, so
+   the statement WAL (when attached) captures them for free — the
+   printable wire form of [Bitset.to_string] embeds in a string
+   literal unescaped. *)
+let write_bits db table id bits =
+  let name = Table.name table in
+  Executor.run_stmt db
+    (Sql.Update
+       {
+         table = name;
+         set = [ ("b", Value.Str (Bitset.to_string bits)) ];
+         where =
+           [ Sql.eq (Sql.Col (Sql.col name "id")) (Sql.Const (Value.Int id)) ];
+       })
+
+let read_bits table id =
+  match Table.find_by_id table id with
+  | None -> None
+  | Some row -> (
+      let column = Xmlac_reldb.Schema.column_index (Table.schema table) "b" in
+      match Table.get table ~row ~column with
+      | Value.Str s -> Some (Bitset.of_string s)
+      | _ -> None)
+
 let make mapping db : Backend.t =
   let engine = Db.engine db in
+  let eval_plan p =
+    (* The relational algebra has no literal id-set operand, so a
+       Restrict becomes a semijoin on the answer of the residual
+       query. *)
+    let restriction, core = Plan.split_restriction p in
+    let ids = Executor.query_ids db (Plan.to_sql mapping core) in
+    match restriction with
+    | None -> ids
+    | Some s -> List.filter (fun id -> Plan.Ids.mem id s) ids
+  in
   {
     Backend.name = Table.engine_to_string engine ^ "-sql";
     eval_ids = (fun e -> Translate.eval_ids mapping db e);
-    eval_plan =
-      (fun p ->
-        (* The relational algebra has no literal id-set operand, so a
-           Restrict becomes a semijoin on the answer of the residual
-           query. *)
-        let restriction, core = Plan.split_restriction p in
-        let ids = Executor.query_ids db (Plan.to_sql mapping core) in
-        match restriction with
-        | None -> ids
-        | Some s -> List.filter (fun id -> Plan.Ids.mem id s) ids);
+    eval_plan;
+    eval_plans = (fun ps -> List.map eval_plan ps);
     set_sign_ids = (fun ids sign -> set_sign_ids mapping db ids sign);
     reset_signs =
       (fun ~default ->
@@ -87,6 +115,51 @@ let make mapping db : Backend.t =
         match s with
         | None -> ()
         | Some sign -> ignore (set_sign_ids mapping db [ id ] sign));
+    set_bits_ids =
+      (fun ids ~role ~value ~default ->
+        let updated = ref 0 in
+        List.iter
+          (fun id ->
+            match Shred.node_table mapping db id with
+            | None -> ()
+            | Some table ->
+                let base =
+                  match read_bits table id with
+                  | Some b -> b
+                  | None -> default
+                in
+                let bits =
+                  if value then Bitset.add role base
+                  else Bitset.remove role base
+                in
+                updated := !updated + write_bits db table id bits)
+          ids;
+        !updated);
+    reset_bits =
+      (fun ~default ->
+        let v = Value.Str (Bitset.to_string default) in
+        List.iter
+          (fun table ->
+            ignore
+              (Executor.run_stmt db
+                 (Sql.Update
+                    { table = Table.name table; set = [ ("b", v) ]; where = [] })))
+          (Db.tables db));
+    bits_of =
+      (fun id ->
+        match Shred.node_table mapping db id with
+        | None -> None
+        | Some table -> read_bits table id);
+    restore_bits =
+      (fun id b ->
+        (* A live tuple always carries a bitmap value, so the journal
+           never records [None] for it; nothing to restore then. *)
+        match b with
+        | None -> ()
+        | Some bits -> (
+            match Shred.node_table mapping db id with
+            | None -> ()
+            | Some table -> ignore (write_bits db table id bits)));
     delete_update =
       (fun e ->
         let ids = Translate.eval_ids mapping db e in

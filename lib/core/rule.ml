@@ -10,15 +10,25 @@ type t = {
   name : string;
   resource : Xp.Ast.expr;
   effect : effect;
+  subjects : string list;
 }
 
-let make ?name ~resource effect =
+let make ?name ?(subjects = []) ~resource effect =
   let name =
     match name with Some n -> n | None -> Xp.Pp.expr_to_string resource
   in
-  { name; resource; effect }
+  { name; resource; effect; subjects }
 
-let parse ?name s effect = make ?name ~resource:(Xp.Parser.parse_exn s) effect
+let parse ?name ?subjects s effect =
+  make ?name ?subjects ~resource:(Xp.Parser.parse_exn s) effect
+
+let unqualified r = r.subjects = []
+
+(* Whether the rule reaches a role whose inheritance closure is
+   [closure]: unqualified rules reach every role; a qualified rule
+   reaches the roles it names and their heirs. *)
+let applies_to ~closure r =
+  r.subjects = [] || List.exists (fun s -> List.mem s r.subjects) closure
 
 let is_positive r = r.effect = Plus
 let is_negative r = r.effect = Minus
@@ -30,6 +40,12 @@ let in_scope doc r n = Xp.Eval.matches doc r.resource n
 let pp ppf r =
   Format.fprintf ppf "%s: %s (%s)" r.name
     (Xp.Pp.expr_to_string r.resource)
-    (effect_to_string r.effect)
+    (effect_to_string r.effect);
+  match r.subjects with
+  | [] -> ()
+  | ss -> Format.fprintf ppf " @@%s" (String.concat ",@" ss)
 
-let equal a b = a.effect = b.effect && Xp.Ast.equal_expr a.resource b.resource
+let equal a b =
+  a.effect = b.effect
+  && Xp.Ast.equal_expr a.resource b.resource
+  && List.sort compare a.subjects = List.sort compare b.subjects

@@ -17,14 +17,34 @@ type t = {
   name : string;  (** Display name, e.g. "R3"; informational only. *)
   resource : Xmlac_xpath.Ast.expr;
   effect : effect;
+  subjects : string list;
+      (** Roles the rule is qualified with; the empty list means the
+          rule applies to {e every} role.  A qualified rule also
+          reaches the heirs of the roles it names — see
+          {!applies_to}. *)
 }
 
-val make : ?name:string -> resource:Xmlac_xpath.Ast.expr -> effect -> t
-(** [name] defaults to the printed resource. *)
+val make :
+  ?name:string ->
+  ?subjects:string list ->
+  resource:Xmlac_xpath.Ast.expr ->
+  effect ->
+  t
+(** [name] defaults to the printed resource; [subjects] defaults to
+    [[]] (the rule applies to every role). *)
 
-val parse : ?name:string -> string -> effect -> t
+val parse : ?name:string -> ?subjects:string list -> string -> effect -> t
 (** Parses the resource.
     @raise Invalid_argument on a malformed expression. *)
+
+val unqualified : t -> bool
+(** Whether the rule carries no subject qualifier (applies to every
+    role). *)
+
+val applies_to : closure:string list -> t -> bool
+(** Whether the rule reaches a role whose inheritance closure
+    ({!Subject.closure}) is [closure]: unqualified rules always do; a
+    qualified rule does iff it names a role in the closure. *)
 
 val is_positive : t -> bool
 val is_negative : t -> bool

@@ -1,5 +1,6 @@
 module Tree = Xmlac_xml.Tree
 module Xp = Xmlac_xpath
+module Bitset = Xmlac_util.Bitset
 
 let make doc : Backend.t =
   let eval_ids e =
@@ -10,6 +11,7 @@ let make doc : Backend.t =
     Backend.name = "xquery";
     eval_ids;
     eval_plan = (fun p -> Plan.native_ids doc p);
+    eval_plans = (fun ps -> Plan.native_ids_shared doc ps);
     set_sign_ids =
       (fun ids sign ->
         List.fold_left
@@ -38,6 +40,37 @@ let make doc : Backend.t =
            compact representation relies on. *)
         match Tree.find doc id with
         | Some n -> Tree.set_sign n s
+        | None -> ());
+    set_bits_ids =
+      (fun ids ~role ~value ~default ->
+        List.fold_left
+          (fun count id ->
+            match Tree.find doc id with
+            | Some n ->
+                (* Unannotated nodes materialize their bitmap from the
+                   default on first touch. *)
+                let base = Option.value n.Tree.bits ~default in
+                let bits =
+                  if value then Bitset.add role base
+                  else Bitset.remove role base
+                in
+                Tree.set_bits n (Some bits);
+                count + 1
+            | None -> count)
+          0 ids);
+    reset_bits =
+      (fun ~default ->
+        (* The native store keeps only materialized bitmaps, so
+           resetting means erasing them all. *)
+        ignore default;
+        Tree.clear_bits doc);
+    bits_of =
+      (fun id ->
+        match Tree.find doc id with Some n -> n.Tree.bits | None -> None);
+    restore_bits =
+      (fun id b ->
+        match Tree.find doc id with
+        | Some n -> Tree.set_bits n b
         | None -> ());
     delete_update = (fun e -> Xmlac_xmldb.Update.delete doc e);
     has_node = (fun id -> Tree.find doc id <> None);

@@ -7,6 +7,7 @@ module Engine = Xmlac_core.Engine
 module Requester = Xmlac_core.Requester
 module Cam = Xmlac_core.Cam
 module Policy = Xmlac_core.Policy
+module Subject = Xmlac_core.Subject
 
 type error_class = Transient | Timeout | Corrupt | Fatal
 
@@ -58,7 +59,14 @@ let default_config =
    epoch — mutations refresh it on commit and nothing commits while
    degraded, so a mismatch can only mean the engine was mutated behind
    the layer's back; then we deny everything. *)
-type snapshot = { doc : Tree.t; cam : Cam.t; sign_epoch : int }
+type snapshot = {
+  doc : Tree.t;
+  cam : Cam.t;
+  role_cams : (string, Cam.t) Hashtbl.t;
+      (** Per-role maps over the snapshot's bitmap slices, built
+          lazily on the first degraded request naming each role. *)
+  sign_epoch : int;
+}
 
 type mutation =
   | Update of string
@@ -81,7 +89,12 @@ type t = {
 let take_snapshot eng =
   let doc = Tree.copy (Engine.document eng) in
   let default = Policy.ds (Engine.policy eng) in
-  { doc; cam = Cam.build doc ~default; sign_epoch = Engine.sign_epoch eng }
+  {
+    doc;
+    cam = Cam.build doc ~default;
+    role_cams = Hashtbl.create 4;
+    sign_epoch = Engine.sign_epoch eng;
+  }
 
 let create ?(config = default_config) eng =
   if config.max_retries < 0 then invalid_arg "Serve.create: max_retries < 0";
@@ -178,19 +191,51 @@ let backoff t n =
   in
   t.config.sleep (Prng.float t.rng (max cap 0.0))
 
+(* One role's view of the snapshot, built on first use: the snapshot's
+   document copy carries the committed bitmaps, so a per-role CAM over
+   it answers that role deny-by-default with the same soundness
+   argument as the single-subject map. *)
+let snapshot_role_cam t role =
+  let snap = t.snapshot in
+  match Hashtbl.find_opt snap.role_cams role with
+  | Some c -> c
+  | None ->
+      let policy = Engine.policy t.eng in
+      let idx =
+        match Subject.index (Policy.subjects policy) role with
+        | Some i -> i
+        | None -> invalid_arg ("Serve: unknown role " ^ role)
+      in
+      let c =
+        Cam.build_role snap.doc ~role:idx
+          ~default:(Policy.resolved_ds policy role)
+      in
+      Hashtbl.replace snap.role_cams role c;
+      Metrics.incr (metrics t) "serve.role_cam_builds";
+      c
+
 (* Deny-by-default answer from the snapshot.  Sound because the
    snapshot is a copy of a committed materialization and mutations
    never commit while degraded; if the epochs disagree anyway the
-   snapshot is stale and everything is denied. *)
-let degraded_decision t expr =
+   snapshot is stale and everything is denied — per role as much as
+   for the anonymous subject. *)
+let degraded_decision ?subject t expr =
   let m = metrics t in
   Metrics.incr m "serve.degraded";
+  (match subject with
+  | Some role -> Metrics.incr m ("serve.degraded." ^ role)
+  | None -> ());
   let snap = t.snapshot in
   if snap.sign_epoch <> Engine.sign_epoch t.eng then begin
     Metrics.incr m "serve.degraded_stale";
     Requester.Denied { blocked = 0 }
   end
   else
+    let cam =
+      match subject with
+      | None -> snap.cam
+      | Some role -> snapshot_role_cam t role
+    in
     let ids =
       Xmlac_xpath.Eval.eval snap.doc expr
       |> List.map (fun n -> n.Tree.id)
@@ -198,10 +243,10 @@ let degraded_decision t expr =
     in
     Requester.decide ~ids ~accessible:(fun id ->
         match Tree.find snap.doc id with
-        | Some n -> Cam.lookup snap.cam n = Tree.Plus
+        | Some n -> Cam.lookup cam n = Tree.Plus
         | None -> false)
 
-let live_request t kind br query =
+let live_request ?subject t kind br query =
   let m = metrics t in
   let attempts = ref 0 in
   match
@@ -211,7 +256,7 @@ let live_request t kind br query =
       (fun () ->
         let rec go n =
           attempts := n;
-          try Engine.request t.eng kind query
+          try Engine.request ?subject t.eng kind query
           with Fault.Transient _ when n <= t.config.max_retries ->
             Metrics.incr m "serve.retries";
             backoff t n;
@@ -229,7 +274,9 @@ let live_request t kind br query =
       Metrics.incr m ("serve.errors." ^ error_class_to_string err.class_);
       Error err
 
-let request t kind query =
+let known_role t role = Subject.mem (Policy.subjects (Engine.policy t.eng)) role
+
+let request ?subject t kind query =
   Metrics.time (metrics t) "serve.request" (fun () ->
       match Requester.parse_or_fail query with
       | exception Invalid_argument msg ->
@@ -238,13 +285,31 @@ let request t kind query =
           Metrics.incr (metrics t) "serve.parse_errors";
           Error { class_ = Fatal; site = "parse"; attempts = 0; message = msg }
       | expr -> (
-          heal t;
-          let br = breaker t kind in
-          match Breaker.admit br with
-          | `Reject ->
-              Ok { decision = degraded_decision t expr; served = Degraded;
-                   attempts = 0 }
-          | `Admit -> live_request t kind br query))
+          match subject with
+          | Some role when not (known_role t role) ->
+              (* Like a parse error: a caller-side mistake, not a
+                 backend health signal — and checked up front so the
+                 degraded path cannot trip over it either. *)
+              Metrics.incr (metrics t) "serve.unknown_roles";
+              Error
+                {
+                  class_ = Fatal;
+                  site = "subject";
+                  attempts = 0;
+                  message = Printf.sprintf "unknown role %S" role;
+                }
+          | _ -> (
+              heal t;
+              let br = breaker t kind in
+              match Breaker.admit br with
+              | `Reject ->
+                  Ok
+                    {
+                      decision = degraded_decision ?subject t expr;
+                      served = Degraded;
+                      attempts = 0;
+                    }
+              | `Admit -> live_request ?subject t kind br query)))
 
 (* ---------- mutations ---------- *)
 

@@ -98,17 +98,23 @@ type reply = {
 }
 
 val request :
-  t -> Engine.backend_kind -> string -> (reply, error) result
-(** The resilient request path.  Parse errors return a [Fatal] error
-    without consulting the breaker (they say nothing about backend
-    health).  A closed/half-open breaker admits the call: it runs
-    under the configured deadline with transient retries, and its
-    outcome feeds the breaker.  An open breaker rejects it and the
-    reply is served [Degraded] from the snapshot: the decision is the
-    all-or-nothing rule over the snapshot's CAM when the snapshot
-    still matches the committed epoch, and a blanket denial when it
-    does not — degradation never grants what the live path would
-    deny. *)
+  ?subject:string -> t -> Engine.backend_kind -> string -> (reply, error) result
+(** The resilient request path.  Parse errors — and unknown
+    [~subject] roles — return a [Fatal] error without consulting the
+    breaker (they say nothing about backend health).  A
+    closed/half-open breaker admits the call: it runs under the
+    configured deadline with transient retries, and its outcome feeds
+    the breaker.  An open breaker rejects it and the reply is served
+    [Degraded] from the snapshot: the decision is the all-or-nothing
+    rule over the snapshot's CAM when the snapshot still matches the
+    committed epoch, and a blanket denial when it does not —
+    degradation never grants what the live path would deny.
+
+    [~subject] answers for one role: live calls go through
+    {!Engine.request}'s subject path, degraded calls through a
+    lazily built per-role CAM over the snapshot's bitmaps — the
+    fail-closed invariant holds per role (blanket denial on a stale
+    snapshot included). *)
 
 (** {1 Mutations} *)
 

@@ -24,7 +24,7 @@ let of_dtd dtd =
         let cols =
           [ ("id", Schema.TInt); ("pid", Schema.TInt) ]
           @ (if is_pcdata then [ ("v", Schema.TStr) ] else [])
-          @ [ ("s", Schema.TStr) ]
+          @ [ ("s", Schema.TStr); ("b", Schema.TStr) ]
         in
         let table = Schema.table ty cols in
         Hashtbl.replace by_type ty table;

@@ -5,7 +5,8 @@ module Table = Xmlac_reldb.Table
 module Value = Xmlac_reldb.Value
 module Sql = Xmlac_reldb.Sql
 
-let tuple_of_node mapping ~default_sign (n : Tree.node) =
+let tuple_of_node mapping ~default_sign ?(default_bits = Xmlac_util.Bitset.empty)
+    (n : Tree.node) =
   let pid =
     match Tree.parent n with
     | None -> Value.Null
@@ -18,37 +19,40 @@ let tuple_of_node mapping ~default_sign (n : Tree.node) =
         | None -> Value.Null) ]
     else []
   in
-  [ Value.Int n.Tree.id; pid ] @ value_cols @ [ Value.Str default_sign ]
+  [ Value.Int n.Tree.id; pid ] @ value_cols
+  @ [ Value.Str default_sign;
+      Value.Str (Xmlac_util.Bitset.to_string default_bits) ]
 
-let insert_statements mapping ~default_sign doc =
+let insert_statements mapping ~default_sign ?default_bits doc =
   List.rev
     (Tree.fold
        (fun acc n ->
          Sql.Insert
            {
              table = n.Tree.name;
-             values = tuple_of_node mapping ~default_sign n;
+             values = tuple_of_node mapping ~default_sign ?default_bits n;
            }
          :: acc)
        [] doc)
 
-let load mapping ~default_sign db doc =
+let load mapping ~default_sign ?default_bits db doc =
   Mapping.create_tables mapping db;
   Tree.fold
     (fun count n ->
       let table = Db.table db n.Tree.name in
       Table.insert table
-        (Array.of_list (tuple_of_node mapping ~default_sign n));
+        (Array.of_list (tuple_of_node mapping ~default_sign ?default_bits n));
       count + 1)
     0 doc
 
 let load_script db stmts = Xmlac_reldb.Executor.run_script db stmts
 
-let insert_subtree mapping ~default_sign db node =
+let insert_subtree mapping ~default_sign ?default_bits db node =
   let count = ref 0 in
   let rec go (n : Tree.node) =
     let table = Db.table db n.Tree.name in
-    Table.insert table (Array.of_list (tuple_of_node mapping ~default_sign n));
+    Table.insert table
+      (Array.of_list (tuple_of_node mapping ~default_sign ?default_bits n));
     incr count;
     List.iter go (Tree.children n)
   in

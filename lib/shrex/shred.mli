@@ -3,15 +3,19 @@
     One tuple per XML node, in the node's element-type table, with the
     node's id as primary key and the parent's id as [pid] (Table 4 of
     the paper).  Signs are initialized to the policy's default
-    semantics. *)
+    semantics; the multi-subject bitmap column [b] to [default_bits]
+    (the policy's {!Xmlac_core.Policy.default_bits} in production,
+    empty when absent). *)
 
 val insert_statements :
-  Mapping.t -> default_sign:string -> Xmlac_xml.Tree.t -> Xmlac_reldb.Sql.stmt list
+  Mapping.t -> default_sign:string -> ?default_bits:Xmlac_util.Bitset.t ->
+  Xmlac_xml.Tree.t -> Xmlac_reldb.Sql.stmt list
 (** The INSERT script representing the document, in preorder (parents
     before children, so foreign keys always resolve). *)
 
 val load :
-  Mapping.t -> default_sign:string -> Xmlac_reldb.Database.t -> Xmlac_xml.Tree.t -> int
+  Mapping.t -> default_sign:string -> ?default_bits:Xmlac_util.Bitset.t ->
+  Xmlac_reldb.Database.t -> Xmlac_xml.Tree.t -> int
 (** Creates the mapped tables and inserts every node directly; returns
     the tuple count. The database must be empty of these tables. *)
 
@@ -20,8 +24,8 @@ val load_script : Xmlac_reldb.Database.t -> Xmlac_reldb.Sql.stmt list -> int
     exist) — the paper's "loading time" measurement path. *)
 
 val insert_subtree :
-  Mapping.t -> default_sign:string -> Xmlac_reldb.Database.t ->
-  Xmlac_xml.Tree.node -> int
+  Mapping.t -> default_sign:string -> ?default_bits:Xmlac_util.Bitset.t ->
+  Xmlac_reldb.Database.t -> Xmlac_xml.Tree.node -> int
 (** Inserts the tuples of a freshly grafted subtree (the node and its
     descendants), reusing the node's universal ids and parent link;
     returns the tuple count.  The parent tuple must already exist. *)

@@ -1,0 +1,71 @@
+(** Roaring-style compressed bitmaps over non-negative ints.
+
+    The multi-subject engine's workhorse representation: per-node
+    {e role} sets (which roles may access this node) and per-role
+    {e id} sets (which nodes a role may access) are both values of
+    this one type.  The value space is chunked by the high bits; each
+    chunk is stored as a sorted array (sparse), an 8 KiB bit array
+    (dense) or a run list (contiguous), whichever is smallest —
+    the classic Roaring container scheme.
+
+    Values are immutable: every operation returns a fresh bitmap and
+    never aliases mutable state with its inputs, so bitmaps can be
+    stashed in undo journals and snapshots without defensive copies. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val singleton : int -> t
+(** @raise Invalid_argument on a negative member. *)
+
+val of_list : int list -> t
+(** Duplicates are collapsed; order is irrelevant.
+    @raise Invalid_argument on a negative member. *)
+
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+(** Extensional equality — container shapes may differ between equal
+    bitmaps (an array chunk and a run chunk can hold the same
+    members). *)
+
+val subset : t -> t -> bool
+(** [subset a b] is whether every member of [a] is in [b]. *)
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val choose : t -> int option
+(** Smallest member, if any. *)
+
+val memory_bytes : t -> int
+(** Approximate heap footprint of the compressed representation —
+    what the multirole bench reports as bitmap bytes/node. *)
+
+val to_string : t -> string
+(** Printable, self-validating wire form — safe inside SQL string
+    literals, WAL records and crash journals. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}, re-validating shape, ordering and bounds.
+    @raise Failure on any malformed input; the message contains
+    ["corrupt"] so the serving layer classifies it as storage
+    corruption. *)
+
+val pp : Format.formatter -> t -> unit

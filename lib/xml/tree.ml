@@ -9,6 +9,8 @@ let sign_of_string = function
 
 let pp_sign ppf s = Format.pp_print_string ppf (sign_to_string s)
 
+module Bitset = Xmlac_util.Bitset
+
 type node = {
   id : int;
   mutable name : string;
@@ -16,6 +18,7 @@ type node = {
   mutable parent : node option;
   mutable children : node list;
   mutable sign : sign option;
+  mutable bits : Bitset.t option;
 }
 
 type t = {
@@ -27,12 +30,13 @@ type t = {
 let fresh_node t ~name ~value ~parent =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let n = { id; name; value; parent; children = []; sign = None } in
+  let n = { id; name; value; parent; children = []; sign = None; bits = None } in
   Hashtbl.replace t.index id n;
   n
 
 let dummy_node =
-  { id = -1; name = ""; value = None; parent = None; children = []; sign = None }
+  { id = -1; name = ""; value = None; parent = None; children = []; sign = None;
+    bits = None }
 
 let create ~root_name =
   let t = { next_id = 0; index = Hashtbl.create 64; root_node = dummy_node } in
@@ -77,6 +81,7 @@ let delete t node =
 let rec copy_into t parent src =
   let n = fresh_node t ~name:src.name ~value:src.value ~parent:(Some parent) in
   n.sign <- src.sign;
+  n.bits <- src.bits;
   parent.children <- parent.children @ [ n ];
   List.iter (fun c -> ignore (copy_into t n c)) src.children;
   n
@@ -130,6 +135,8 @@ let nodes t = descendant_or_self t.root_node
 let count p t = fold (fun acc n -> if p n then acc + 1 else acc) 0 t
 
 let set_sign n s = n.sign <- s
+let set_bits n b = n.bits <- b
+let clear_bits t = iter (fun n -> n.bits <- None) t
 
 let signed t s =
   fold (fun acc n -> if n.sign = Some s then n :: acc else acc) [] t
@@ -145,7 +152,7 @@ let copy t =
   let rec dup parent src =
     let n =
       { id = src.id; name = src.name; value = src.value; parent;
-        children = []; sign = src.sign }
+        children = []; sign = src.sign; bits = src.bits }
     in
     Hashtbl.replace t'.index n.id n;
     n.children <- List.map (fun c -> dup (Some n) c) src.children;
@@ -157,7 +164,8 @@ let copy t =
 let rec equal_nodes ~signs a b =
   String.equal a.name b.name
   && a.value = b.value
-  && (not signs || a.sign = b.sign)
+  && (not signs
+     || (a.sign = b.sign && Option.equal Bitset.equal a.bits b.bits))
   && List.length a.children = List.length b.children
   && List.for_all2 (equal_nodes ~signs) a.children b.children
 

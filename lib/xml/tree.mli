@@ -25,6 +25,10 @@ type node = private {
   mutable parent : node option;  (** [None] only for the root. *)
   mutable children : node list;  (** Document order preserved. *)
   mutable sign : sign option;  (** Materialized annotation, if any. *)
+  mutable bits : Xmlac_util.Bitset.t option;
+      (** Multi-subject annotation: the set of role bit indices with
+          access, or [None] when unannotated (every role falls back to
+          its resolved default semantics). *)
 }
 
 type t
@@ -100,17 +104,24 @@ val signed : t -> sign -> node list
 
 val clear_signs : t -> unit
 
+val set_bits : node -> Xmlac_util.Bitset.t option -> unit
+(** Writes the node's role bitmap; [None] returns it to unannotated. *)
+
+val clear_bits : t -> unit
+(** Erases every node's role bitmap (all nodes unannotated). *)
+
 (** {1 Copying and comparison} *)
 
 val copy : t -> t
-(** Deep copy preserving ids, values and signs. *)
+(** Deep copy preserving ids, values, signs and role bitmaps. *)
 
 val equal_structure : t -> t -> bool
 (** Same shape, names and values (ids and signs ignored); children are
     compared in document order. *)
 
 val equal_annotated : t -> t -> bool
-(** [equal_structure] and equal signs node-for-node. *)
+(** [equal_structure] and equal signs and role bitmaps
+    node-for-node. *)
 
 val pp : Format.formatter -> t -> unit
 (** Debugging printer: indented outline with ids and signs. *)

@@ -149,7 +149,7 @@ let kill_offsets hits =
    epoch counter never runs backwards; the fast lane is coherent.
    [structural] marks operations whose single epoch spans all three
    stores (recovery rolls them forward together). *)
-let crash_sweep ~name ~make_engine ~prep ~op ~structural () =
+let crash_sweep ~name ~make_engine ~prep ~op ~structural ~sets () =
   Fault.reset ();
   let scout = make_engine () in
   prep scout;
@@ -166,11 +166,11 @@ let crash_sweep ~name ~make_engine ~prep ~op ~structural () =
   Alcotest.(check bool) (name ^ ": crosses fault points") true (crossed <> []);
   let pre_twin = make_engine () in
   prep pre_twin;
-  let pre = accessible_sets pre_twin in
+  let pre = sets pre_twin in
   let post_twin = make_engine () in
   prep post_twin;
   op post_twin;
-  let post = accessible_sets post_twin in
+  let post = sets post_twin in
   List.iter
     (fun (pt, hits) ->
       List.iter
@@ -194,10 +194,11 @@ let crash_sweep ~name ~make_engine ~prep ~op ~structural () =
               Alcotest.(check int) (ctx ^ ": aborted epoch consumed") n
                 (Engine.sign_epoch eng)
           | None -> ());
+          let now = sets eng in
           let sides =
             List.map
               (fun kind ->
-                let got = Engine.accessible eng kind in
+                let got = List.assoc kind now in
                 if got = List.assoc kind pre then `Pre
                 else if got = List.assoc kind post then `Post
                 else
@@ -225,14 +226,14 @@ let test_crash_sweep_annotate () =
   crash_sweep ~name:"annotate"
     ~make_engine:(hospital_fixture ())
     ~prep:(fun _ -> ())
-    ~op:annotate_all ~structural:false ()
+    ~op:annotate_all ~structural:false ~sets:accessible_sets ()
 
 let test_crash_sweep_update () =
   crash_sweep ~name:"update"
     ~make_engine:(hospital_fixture ())
     ~prep:annotate_all
     ~op:(fun eng -> ignore (Engine.update eng "//patient/treatment"))
-    ~structural:true ()
+    ~structural:true ~sets:accessible_sets ()
 
 let test_crash_sweep_insert () =
   crash_sweep ~name:"insert"
@@ -243,7 +244,44 @@ let test_crash_sweep_insert () =
         (Engine.insert eng
            ~at:"//patient[psn = \"099\"]"
            ~fragment:(treatment_fragment ())))
-    ~structural:true ()
+    ~structural:true ~sets:accessible_sets ()
+
+(* Multi-role epochs: a killed [annotate_subjects] epoch must never
+   commit a partial bitmap — after recovery every store's per-role
+   accessible sets are extensionally the pre- or the post-annotation
+   materialization, never a mix of roles. *)
+
+let hospital_roles_policy =
+  lazy
+    (Policy_io.parse_exn
+       "role staff\n\
+        role doctor inherits staff\n\
+        default deny\n\
+        conflict deny\n\
+        allow //patient\n\
+        deny @staff //patient[treatment]\n\
+        allow @doctor //treatment\n")
+
+let hospital_roles_fixture () =
+  let doc = W.Hospital.sample_document () in
+  let policy = Lazy.force hospital_roles_policy in
+  fun () -> Engine.create ~dtd:W.Hospital.dtd ~policy doc
+
+let accessible_subject_sets eng =
+  let roles = Policy.roles (Engine.policy eng) in
+  List.map
+    (fun k ->
+      ( k,
+        List.map (fun role -> (role, Engine.accessible_subject eng k role)) roles
+      ))
+    Engine.all_backend_kinds
+
+let test_crash_sweep_annotate_subjects () =
+  crash_sweep ~name:"annotate-subjects"
+    ~make_engine:(hospital_roles_fixture ())
+    ~prep:(fun _ -> ())
+    ~op:(fun eng -> ignore (Engine.annotate_subjects_all eng))
+    ~structural:false ~sets:accessible_subject_sets ()
 
 (* The ISSUE's coverage floor: the mutating paths cross named points
    spanning the WAL, relational sign UPDATEs, native sign stamping,
@@ -460,6 +498,7 @@ let () =
           tc "annotate epochs" test_crash_sweep_annotate;
           tc "update epoch" test_crash_sweep_update;
           tc "insert epoch" test_crash_sweep_insert;
+          tc "multi-role epoch" test_crash_sweep_annotate_subjects;
           tc "fault point coverage" test_fault_point_coverage;
           tc "open epoch guards mutations" test_open_epoch_guard;
           tc "recover is idempotent" test_recover_idempotent;

@@ -196,6 +196,82 @@ let test_tabular_arity () =
     (fun () -> Tabular.add_row t [ "1"; "2" ])
 
 (* ------------------------------------------------------------------ *)
+(* Bitset *)
+
+module Bitset = Xmlac_util.Bitset
+module ISet = Set.Make (Int)
+
+let test_bitset_basics () =
+  let l = [ 0; 1; 2; 3; 5; 65535; 65536; 70000; 70001; 131072 ] in
+  let b = Bitset.of_list (l @ l) in
+  Alcotest.(check (list int)) "to_list ascending" l (Bitset.to_list b);
+  Alcotest.(check int) "cardinal" (List.length l) (Bitset.cardinal b);
+  Alcotest.(check bool) "mem cross-chunk" true (Bitset.mem 70000 b);
+  Alcotest.(check bool) "not mem" false (Bitset.mem 4 b);
+  Alcotest.(check (option int)) "choose smallest" (Some 0) (Bitset.choose b);
+  Alcotest.(check bool) "empty" true Bitset.(is_empty empty);
+  Alcotest.(check bool) "add/remove" true
+    (Bitset.mem 42 (Bitset.add 42 b) && not (Bitset.mem 5 (Bitset.remove 5 b)))
+
+let test_bitset_shapes () =
+  (* Dense contiguous -> run; scattered dense -> bitmap; both must
+     round-trip through the wire form and compare equal to their
+     member sets. *)
+  let run = Bitset.of_list (List.init 60000 (fun i -> i + 7)) in
+  let bmp = Bitset.of_list (List.init 20000 (fun i -> i * 3)) in
+  let arr = Bitset.of_list [ 9; 90; 900; 9000 ] in
+  List.iter
+    (fun b ->
+      let b' = Bitset.of_string (Bitset.to_string b) in
+      Alcotest.(check bool) "serialize round-trip" true (Bitset.equal b b');
+      Alcotest.(check int) "round-trip cardinal" (Bitset.cardinal b)
+        (Bitset.cardinal b'))
+    [ run; bmp; arr; Bitset.union run bmp; Bitset.empty ];
+  Alcotest.(check bool) "memory compresses runs" true
+    (Bitset.memory_bytes run < Bitset.memory_bytes bmp)
+
+let test_bitset_corrupt () =
+  List.iter
+    (fun s ->
+      match Bitset.of_string s with
+      | exception Failure m ->
+          Alcotest.(check bool) "names corruption" true
+            (contains ~needle:"corrupt" m)
+      | _ -> Alcotest.failf "accepted corrupt input %S" s)
+    [
+      "RB2|0:A0001";       (* bad magic *)
+      "RB1|0:A0003.0001";  (* unsorted members *)
+      "RB1|0:Z00";         (* unknown shape *)
+      "RB1|1:A0001|0:A0001";  (* keys out of order *)
+      "RB1|0:R0005+0000";  (* zero-length run *)
+      "RB1|0:Rfff0+0020";  (* run overflows chunk *)
+      "RB1|0:A";           (* empty payload *)
+    ]
+
+let bitset_algebra_qcheck =
+  (* Union / inter / diff / subset agree with Set.Make(Int) on random
+     member lists spanning several chunks. *)
+  let gen = QCheck2.Gen.(list_size (0 -- 200) (0 -- 200_000)) in
+  QCheck2.Test.make ~name:"bitset algebra agrees with Set" ~count:200
+    QCheck2.Gen.(pair gen gen)
+    (fun (xs, ys) ->
+      let bx = Bitset.of_list xs and by = Bitset.of_list ys in
+      let sx = ISet.of_list xs and sy = ISet.of_list ys in
+      let eq b s = Bitset.to_list b = ISet.elements s in
+      eq (Bitset.union bx by) (ISet.union sx sy)
+      && eq (Bitset.inter bx by) (ISet.inter sx sy)
+      && eq (Bitset.diff bx by) (ISet.diff sx sy)
+      && Bitset.subset bx by = ISet.subset sx sy
+      && Bitset.equal bx by = ISet.equal sx sy)
+
+let bitset_serialize_qcheck =
+  QCheck2.Test.make ~name:"bitset wire form round-trips" ~count:100
+    QCheck2.Gen.(list_size (0 -- 300) (0 -- 300_000))
+    (fun xs ->
+      let b = Bitset.of_list xs in
+      Bitset.equal b (Bitset.of_string (Bitset.to_string b)))
+
+(* ------------------------------------------------------------------ *)
 (* Timing *)
 
 let test_timing_time () =
@@ -244,6 +320,14 @@ let () =
         ] );
       ( "tabular",
         [ tc "render" test_tabular_render; tc "arity" test_tabular_arity ] );
+      ( "bitset",
+        [
+          tc "basics" test_bitset_basics;
+          tc "container shapes round-trip" test_bitset_shapes;
+          tc "corrupt wire forms rejected" test_bitset_corrupt;
+          QCheck_alcotest.to_alcotest bitset_algebra_qcheck;
+          QCheck_alcotest.to_alcotest bitset_serialize_qcheck;
+        ] );
       ( "timing",
         [ tc "time" test_timing_time; tc "pp_seconds" test_timing_pp ] );
     ]

@@ -24,25 +24,33 @@ show() {
 }
 
 cat > auction.policy <<'EOF'
-# Auction-site policy: people are visible by name only, except that
-# anyone with a credit card on file is hidden entirely.
+# Auction-site policy, two roles: visitors see people by name only —
+# anyone with a credit card on file is hidden from them entirely —
+# while auditors (who inherit the visitor rules) also see the open
+# auctions.
+role visitor
+role auditor inherits visitor
 default deny
 conflict deny
 allow //person
 allow //person/name
-deny  //person[creditcard]
-allow //open_auction
+deny  @visitor //person[creditcard]
+allow @auditor //open_auction
 EOF
 echo "\$ cat auction.policy"
 cat auction.policy
 
+show roles auction.policy
 show generate -f 0.005 -o site.xml
 show annotate site.xml auction.policy -o annotated.xml
 show query annotated.xml auction.policy "//person/name"
+show query annotated.xml auction.policy --subject visitor "//open_auction"
+show query annotated.xml auction.policy --subject auditor "//open_auction"
 show query annotated.xml auction.policy "//person"
 show update annotated.xml auction.policy --dtd xmark "//person/creditcard" -o updated.xml
 show query updated.xml auction.policy "//person"
 show explain auction.policy --dtd xmark --doc site.xml \
-  --request "//person/name" --request "//open_auction"
+  --request "//person/name" --request "//open_auction" \
+  --subject visitor --subject auditor
 show health auction.policy --dtd xmark --doc site.xml \
   --requests 24 --fault-rate 0.25 --seed 7
