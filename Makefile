@@ -44,6 +44,12 @@ bench-full:
 bench-multirole:
 	dune exec bench/main.exe -- -e multirole
 
+# Pinned snapshot readers x writer churn: p50/p99 read latency,
+# snapshot-reclaim lag, and the MVCC invariant counters (stale /
+# unpinned / errors must all be 0).
+bench-concurrent:
+	dune exec bench/main.exe -- -e concurrent
+
 doc:
 	dune build @doc
 
@@ -53,4 +59,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test ci soak bench bench-full bench-multirole doc quickstart clean
+.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent doc quickstart clean

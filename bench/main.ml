@@ -22,6 +22,7 @@ type experiment =
   | Multirole
   | Recovery
   | Resilience
+  | Concurrent
   | Micro
   | All
 
@@ -38,6 +39,7 @@ let experiment_of_string = function
   | "multirole" -> Ok Multirole
   | "recovery" -> Ok Recovery
   | "resilience" -> Ok Resilience
+  | "concurrent" -> Ok Concurrent
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -60,6 +62,7 @@ let experiment_conv =
           | Multirole -> "multirole"
           | Recovery -> "recovery"
           | Resilience -> "resilience"
+          | Concurrent -> "concurrent"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -76,6 +79,7 @@ let run_one cfg = function
   | Multirole -> Exp_multirole.run cfg
   | Recovery -> Exp_recovery.run cfg
   | Resilience -> Exp_resilience.run cfg
+  | Concurrent -> Exp_concurrent.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -90,6 +94,7 @@ let run_one cfg = function
       Exp_multirole.run cfg;
       Exp_recovery.run cfg;
       Exp_resilience.run cfg;
+      Exp_concurrent.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =
@@ -117,7 +122,8 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     ablation-plan, requester, multirole, recovery, resilience, micro or all \
+     ablation-plan, requester, multirole, recovery, resilience, concurrent, \
+     micro or all \
      (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)

@@ -12,7 +12,8 @@
      depend     show rule expansions and the dependency graph
      explain    annotation plan, rewrite trace, lowerings, timings
      recover    crash a mutating epoch at a fault point, then recover
-     health     probe the resilient serving layer under injected faults *)
+     health     probe the resilient serving layer under injected faults
+     serve      run pinned-snapshot reader sessions against a churning writer *)
 
 open Cmdliner
 open Xmlac_core
@@ -20,6 +21,8 @@ module Tree = Xmlac_xml.Tree
 module Fault = Xmlac_util.Fault
 module Serve = Xmlac_serve.Serve
 module Breaker = Xmlac_serve.Breaker
+module Session = Xmlac_serve.Session
+module Pool = Xmlac_serve.Pool
 module Timing = Xmlac_util.Timing
 
 let read_file path =
@@ -402,6 +405,9 @@ let explain policy_path dtd_name doc_path raw requests subjects =
                 (Xmlac_reldb.Wal.bytes_logged w)
                 (Xmlac_reldb.Wal.checksum w))
         Engine.all_backend_kinds;
+      Format.printf "  %a@." Snapshot.pp_registry (Engine.snapshots eng);
+      Printf.printf "  stale denials     %d\n"
+        (Xmlac_util.Metrics.counter m Xmlac_util.Metrics.stale_snapshot_denials);
       Format.printf "@[<v 2>  metrics:@,%a@]@."
         Xmlac_util.Metrics.pp (Engine.metrics eng)
 
@@ -654,6 +660,133 @@ let health_cmd =
     Term.(const health_run $ policy_path $ dtd_name $ doc_path $ requests
           $ fault_rate $ seed $ deadline_ticks $ retries)
 
+(* --- serve -------------------------------------------------------- *)
+
+let serve_run policy_path dtd_name doc_path readers requests churn update_expr
+    domains =
+  let policy = Optimizer.optimize_policy (load_policy policy_path) in
+  let dtd = load_dtd dtd_name in
+  let doc = load_doc doc_path in
+  Fault.reset ();
+  let eng = Engine.create ~dtd ~policy doc in
+  let _ = Engine.annotate_all eng in
+  if Policy.role_count policy > 0 then ignore (Engine.annotate_subjects_all eng);
+  let serve = Serve.create eng in
+  let pool = Pool.create ?domains () in
+  let queries =
+    match
+      List.map
+        (fun (r : Rule.t) -> Xmlac_xpath.Pp.expr_to_string r.Rule.resource)
+        (Policy.rules policy)
+    with
+    | [] -> [| "//*" |]
+    | qs -> Array.of_list qs
+  in
+  (* Readers cycle anonymous, role 1, role 2, ... over the declared roles. *)
+  let roles = Array.of_list (Policy.roles policy) in
+  let subject_of i =
+    if Array.length roles = 0 || i mod (Array.length roles + 1) = 0 then None
+    else Some roles.((i mod (Array.length roles + 1)) - 1)
+  in
+  (* Every session pins the same committed epoch before the writer
+     starts, so each reader's decisions are schedule-independent: the
+     concurrent and --domains 1 runs print identical reader lines. *)
+  let sessions =
+    List.init readers (fun i -> Session.open_ ?subject:(subject_of i) serve)
+  in
+  let reader_job sess () =
+    let granted = ref 0 and denied = ref 0 and errs = ref 0 in
+    for k = 0 to requests - 1 do
+      match Session.request sess queries.(k mod Array.length queries) with
+      | Ok r ->
+          if Requester.is_granted r.Serve.decision then incr granted
+          else incr denied
+      | Error _ -> incr errs
+    done;
+    `Reader (!granted, !denied, !errs)
+  in
+  let writer_job () =
+    let applied = ref 0 and recovered = ref 0 and other = ref 0 in
+    for _ = 1 to churn do
+      match Serve.update serve update_expr with
+      | Ok (Serve.Applied _) -> incr applied
+      | Ok Serve.Recovered -> incr recovered
+      | Ok (Serve.Queued _) | Error _ -> incr other
+    done;
+    `Writer (!applied, !recovered, !other)
+  in
+  let jobs = List.map reader_job sessions @ [ writer_job ] in
+  Printf.printf
+    "serve: %d reader(s) x %d request(s), writer churn %d, %d domain(s) (%s)\n"
+    readers requests churn (Pool.size pool)
+    (if Pool.sequential pool then "deterministic" else "concurrent");
+  let outcomes = Pool.parallel pool jobs in
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | `Reader (granted, denied, errs) ->
+          let sess = List.nth sessions i in
+          Printf.printf
+            "  reader %-2d [%-12s] epoch %d: granted %d, denied %d, error(s) \
+             %d\n"
+            i
+            (Option.value ~default:"anonymous" (Session.subject sess))
+            (Session.epoch sess) granted denied errs
+      | `Writer (applied, recovered, other) ->
+          Printf.printf
+            "  writer     applied %d, recovered %d, queued/failed %d\n" applied
+            recovered other)
+    outcomes;
+  List.iter Session.close sessions;
+  Pool.shutdown pool;
+  Format.printf "%a@." Snapshot.pp_registry (Engine.snapshots eng);
+  let h = Serve.health serve in
+  Format.printf "%a@?" Serve.pp_health h;
+  if not (Serve.healthy h) then exit 3
+
+let serve_cmd =
+  let policy_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY")
+  in
+  let dtd_name =
+    Arg.(required & opt (some string) None
+         & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let doc_path =
+    Arg.(required & opt (some file) None
+         & info [ "doc" ] ~doc:"Document to build the engine over.")
+  in
+  let readers =
+    Arg.(value & opt int 4
+         & info [ "readers" ] ~doc:"Pinned reader sessions to open.")
+  in
+  let requests =
+    Arg.(value & opt int 8
+         & info [ "requests" ] ~doc:"Requests per reader session.")
+  in
+  let churn =
+    Arg.(value & opt int 3
+         & info [ "churn" ] ~doc:"Writer mutations applied while readers run.")
+  in
+  let update_expr =
+    Arg.(value & opt string "//person/creditcard"
+         & info [ "update" ] ~doc:"Delete update the writer loops on.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ]
+             ~doc:"Worker domains ($(b,1) = deterministic sequential \
+                   scheduling; default: the runtime's recommendation).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run session-scoped reader workloads from pinned MVCC snapshots \
+             while a writer churns epochs: every reader keeps the epoch it \
+             pinned at open, whatever the writer commits meanwhile (exit \
+             code 3 if the layer ends unhealthy).")
+    Term.(const serve_run $ policy_path $ dtd_name $ doc_path $ readers
+          $ requests $ churn $ update_expr $ domains)
+
 (* --- view --------------------------------------------------------- *)
 
 let view doc_path policy_path mode output =
@@ -716,5 +849,5 @@ let () =
           [
             generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
             query_cmd; roles_cmd; update_cmd; depend_cmd; explain_cmd;
-            view_cmd; cam_cmd; recover_cmd; health_cmd;
+            view_cmd; cam_cmd; recover_cmd; health_cmd; serve_cmd;
           ]))

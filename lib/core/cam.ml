@@ -55,6 +55,14 @@ let build_role doc ~role ~default =
       | Some b ->
           Some (if Xmlac_util.Bitset.mem role b then Tree.Plus else Tree.Minus))
 
+(* Entries are keyed by node id and [lookup] walks the parent chain of
+   the node it is handed — so a frozen copy answers for any tree whose
+   ids and parent chains match the one it was built from, in
+   particular the [Tree.copy] a snapshot captures. *)
+let freeze t =
+  { default = t.default; read = t.read; map = Hashtbl.copy t.map;
+    node_count = t.node_count }
+
 let lookup t (n : Tree.node) =
   Xmlac_util.Deadline.checkpoint ();
   let rec up (m : Tree.node) =

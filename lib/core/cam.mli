@@ -43,6 +43,15 @@ val build_role :
     node inherits [default] (the role's resolved default
     semantics). *)
 
+val freeze : t -> t
+(** An O(entries) private copy, cheaper than a fresh {!build}
+    (O(nodes)).  Entries are keyed by node id and {!lookup} walks the
+    parent chain of the node it is handed, so the copy answers for any
+    tree with the same ids and parent chains — in particular the
+    [Tree.copy] an MVCC snapshot captures.  The copy shares nothing
+    mutable with the original: later incremental maintenance on either
+    side leaves the other untouched. *)
+
 val lookup : t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign
 (** Effective sign of a node of the document the map was built from.
     O(depth) worst case; O(1) when the node itself carries an entry.

@@ -94,7 +94,21 @@ type t = {
      may have left behind. *)
   mutable sign_epoch : int;
   mutable open_op : open_op option;
+  (* MVCC: every committed sign epoch is published as an immutable
+     snapshot; readers pin one and never block on the writer. *)
+  snapshots : Snapshot.registry;
 }
+
+(* Freeze the committed materialization as of [sign_epoch] and install
+   it as the current snapshot.  Called only between epochs (after
+   [commit_op], at creation, after recovery) — never inside an open
+   epoch — so a reader can never pin partial state. *)
+let publish_snapshot t =
+  let snap =
+    Snapshot.capture ~epoch:t.sign_epoch ~policy:t.policy ~cam:t.cam
+      ~metrics:t.metrics t.doc
+  in
+  Snapshot.publish t.snapshots snap
 
 let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
     doc =
@@ -132,6 +146,7 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
       (Backend.journaled (List.assoc kind journals) base)
   in
   let metrics = Metrics.create () in
+  let t =
   {
     policy;
     original_policy;
@@ -163,7 +178,14 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
     divergent = false;
     sign_epoch = 0;
     open_op = None;
+    snapshots = Snapshot.create_registry ~metrics ();
   }
+  in
+  (* Epoch 0 (the load-time materialization) is a committed epoch like
+     any other: publish it so readers can pin before the first
+     mutation. *)
+  publish_snapshot t;
+  t
 
 let policy t = t.policy
 let original_policy t = t.original_policy
@@ -178,6 +200,15 @@ let cam t = t.cam
 let epoch t = t.epoch
 let sign_epoch t = t.sign_epoch
 let open_epoch t = Option.map (fun o -> o.num) t.open_op
+let snapshots t = t.snapshots
+
+let current_snapshot t =
+  match Snapshot.current t.snapshots with
+  | Some s -> s
+  | None -> assert false (* published at creation, never emptied *)
+
+let pin_snapshot t = Snapshot.pin t.snapshots
+let unpin_snapshot t snap = Snapshot.unpin t.snapshots snap
 
 let wal t = function
   | Native -> None
@@ -285,7 +316,11 @@ let refresh t =
   t.annotated <- [];
   t.bits_annotated <- [];
   drop_role_cams t;
-  rebuild_cam t
+  rebuild_cam t;
+  (* The signs moved behind the engine's back; the current snapshot no
+     longer reflects them.  Republish under the same sign epoch —
+     already-pinned readers keep their (now historical) version. *)
+  publish_snapshot t
 
 (* --- sign epochs --------------------------------------------------- *)
 
@@ -327,7 +362,11 @@ let commit_op t o =
   List.iter (fun (_, j) -> Backend.journal_stop j) t.journals;
   t.sign_epoch <- o.num;
   t.open_op <- None;
-  Metrics.incr t.metrics "epoch.commits"
+  Metrics.incr t.metrics "epoch.commits";
+  (* The epoch is durable; freeze it for readers.  A crash past this
+     point (the snapshot.publish fault) leaves the registry one epoch
+     behind — recovery's idempotent path republishes. *)
+  publish_snapshot t
 
 let annotate t kind =
   let o = begin_op t (Op_annotate kind) in
@@ -651,6 +690,13 @@ let recover t =
         Metrics.incr t.metrics "recovery.runs";
         Metrics.add t.metrics "recovery.wal_dropped" wal_dropped
       end;
+      (* One exception to "leave everything untouched": a crash that
+         hit after commit but before the snapshot publish leaves the
+         registry an epoch behind.  Republishing is invisible to every
+         other observable (epoch, counters, caches), so recover stays
+         idempotent. *)
+      if Snapshot.current_epoch t.snapshots <> Some t.sign_epoch then
+        publish_snapshot t;
       {
         recovered_epoch = None;
         direction = `None;
@@ -703,6 +749,10 @@ let recover t =
       Decision_cache.clear t.cache;
       rebuild_cam t;
       drop_role_cams t;
+      (* The recovered epoch is committed; publish it like any other.
+         Readers pinned through the crash keep their pre-crash
+         snapshot untouched. *)
+      publish_snapshot t;
       Metrics.add t.metrics "recovery.signs_rolled_back" signs_rolled_back;
       {
         recovered_epoch = Some o.num;

@@ -225,6 +225,34 @@ val wal : t -> backend_kind -> Xmlac_reldb.Wal.t option
     {!Native}, which is journaled in memory instead).  Exposed for the
     durability tests and [xmlacctl explain]. *)
 
+(** {1 MVCC snapshots}
+
+    Every committed {!sign_epoch} is published as an immutable
+    {!Snapshot.t} the instant it commits — including epoch 0, the
+    load-time materialization, published at {!create}.  Readers pin
+    the current snapshot and answer from it without ever blocking on
+    (or being corrupted by) the writer's next epoch; unpinned old
+    snapshots are reclaimed.  Publication happens only {e between}
+    epochs ([create], commit, {!recover}, {!refresh}), so a pinned
+    snapshot can never expose a partial epoch. *)
+
+val snapshots : t -> Snapshot.registry
+(** The engine's snapshot registry (stats, [Snapshot.pp_registry]). *)
+
+val current_snapshot : t -> Snapshot.t
+(** The snapshot of the last committed epoch.  Always exists —
+    {!create} publishes epoch 0.  Unpinned: a reader that wants to
+    hold it across commits must {!pin_snapshot} instead. *)
+
+val pin_snapshot : t -> Snapshot.t
+(** Pin and return the current snapshot; the caller owes exactly one
+    {!unpin_snapshot}.  While pinned it survives any number of later
+    commits, recoveries and refreshes, byte-identically. *)
+
+val unpin_snapshot : t -> Snapshot.t -> unit
+(** Release one pin; a retired snapshot is reclaimed when its last
+    pin goes.  @raise Invalid_argument when [snap] is not pinned. *)
+
 type direction = [ `None | `Back | `Forward ]
 
 type recovery = {

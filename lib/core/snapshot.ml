@@ -1,0 +1,236 @@
+module Tree = Xmlac_xml.Tree
+module Metrics = Xmlac_util.Metrics
+module Fault = Xmlac_util.Fault
+
+type t = {
+  epoch : int;
+  doc : Tree.t;  (* frozen private copy, signs and bitmaps included *)
+  cam : Cam.t;  (* frozen single-subject map *)
+  policy : Policy.t;
+  role_cams : (string, Cam.t) Hashtbl.t;
+      (* Per-role maps over the frozen bitmaps, built lazily on the
+         first request naming each role; guarded by [lock]. *)
+  cache : Requester.decision Decision_cache.t;
+      (* Private memo table.  The epoch is fixed for the snapshot's
+         lifetime, so entries never go stale — the epoch tag only
+         guards against misuse.  Guarded by [lock]. *)
+  metrics : Metrics.t;
+  lock : Mutex.t;
+      (* Guards [role_cams] and [cache]; the rest is frozen.  The pin
+         count is guarded by the owning registry's lock instead, so
+         pin/publish/reclaim are atomic with respect to each other. *)
+  mutable pins : int;
+}
+
+let with_lock lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let capture ~epoch ~policy ~cam ~metrics doc =
+  Metrics.incr metrics "snapshot.captures";
+  {
+    epoch;
+    doc = Tree.copy doc;
+    cam = Cam.freeze cam;
+    policy;
+    role_cams = Hashtbl.create 4;
+    cache = Decision_cache.create ();
+    metrics;
+    lock = Mutex.create ();
+    pins = 0;
+  }
+
+let epoch t = t.epoch
+let document t = t.doc
+let cam t = t.cam
+let pins t = t.pins
+
+(* One role's view of the frozen bitmaps.  Built under the lock: a
+   duplicate build racing outside it would be harmless but wasted, and
+   [Cam.build_role] crosses no checkpoints or fault points, so nothing
+   can raise mid-build except allocation failure. *)
+let role_cam t role =
+  match Hashtbl.find_opt t.role_cams role with
+  | Some c -> c
+  | None ->
+      let idx =
+        match Subject.index (Policy.subjects t.policy) role with
+        | Some i -> i
+        | None -> invalid_arg ("Snapshot.request: unknown role " ^ role)
+      in
+      let c =
+        Cam.build_role t.doc ~role:idx
+          ~default:(Policy.resolved_ds t.policy role)
+      in
+      Hashtbl.replace t.role_cams role c;
+      Metrics.incr t.metrics "snapshot.role_cam_builds";
+      c
+
+let request ?subject t query =
+  Metrics.incr t.metrics "snapshot.reads";
+  let key =
+    match subject with
+    | None -> "\x00" ^ query
+    | Some role -> "@" ^ role ^ "\x00" ^ query
+  in
+  match
+    with_lock t.lock (fun () ->
+        Decision_cache.find t.cache ~epoch:t.epoch key)
+  with
+  | Some d ->
+      Metrics.incr t.metrics "snapshot.cache.hits";
+      d
+  | None ->
+      Metrics.incr t.metrics "snapshot.cache.misses";
+      let expr = Requester.parse_or_fail query in
+      (* The frozen-read checkpoint: lets the serve layer inject
+         transient faults into the pinned read path (retry tests, the
+         chaos soak) without touching the live stores. *)
+      Fault.point "snapshot.read";
+      let cam =
+        match subject with
+        | None -> t.cam
+        | Some role -> with_lock t.lock (fun () -> role_cam t role)
+      in
+      let ids =
+        Xmlac_xpath.Eval.eval t.doc expr
+        |> List.map (fun n -> n.Tree.id)
+        |> List.sort_uniq compare
+      in
+      let d =
+        Requester.decide ~ids ~accessible:(fun id ->
+            match Tree.find t.doc id with
+            | Some n -> Cam.lookup cam n = Tree.Plus
+            | None -> false)
+      in
+      with_lock t.lock (fun () ->
+          Decision_cache.add t.cache ~epoch:t.epoch key d);
+      d
+
+(* --- registry ------------------------------------------------------ *)
+
+type registry = {
+  mutable current_snap : t option;
+  mutable retired_snaps : t list;  (* pinned old snapshots, newest first *)
+  mutable published_count : int;
+  mutable reclaimed_count : int;
+  mutable max_retired_count : int;
+  reg_metrics : Metrics.t;
+  reg_lock : Mutex.t;
+}
+
+let create_registry ~metrics () =
+  {
+    current_snap = None;
+    retired_snaps = [];
+    published_count = 0;
+    reclaimed_count = 0;
+    max_retired_count = 0;
+    reg_metrics = metrics;
+    reg_lock = Mutex.create ();
+  }
+
+let publish reg snap =
+  (* Crash here = the epoch committed but its snapshot never became
+     current; [Engine.recover]'s idempotent path republishes. *)
+  Fault.point "snapshot.publish";
+  let freed =
+    with_lock reg.reg_lock (fun () ->
+        let freed =
+          match reg.current_snap with
+          | None -> 0
+          | Some old when old.pins = 0 -> 1  (* reclaimed on the spot *)
+          | Some old ->
+              reg.retired_snaps <- old :: reg.retired_snaps;
+              0
+        in
+        reg.current_snap <- Some snap;
+        reg.published_count <- reg.published_count + 1;
+        reg.reclaimed_count <- reg.reclaimed_count + freed;
+        let lag = List.length reg.retired_snaps in
+        if lag > reg.max_retired_count then reg.max_retired_count <- lag;
+        freed)
+  in
+  Metrics.incr reg.reg_metrics "snapshot.publishes";
+  if freed > 0 then begin
+    Metrics.add reg.reg_metrics "snapshot.reclaims" freed;
+    Fault.point "snapshot.reclaim"
+  end
+
+let current reg = with_lock reg.reg_lock (fun () -> reg.current_snap)
+
+let current_epoch reg =
+  with_lock reg.reg_lock (fun () ->
+      Option.map (fun s -> s.epoch) reg.current_snap)
+
+let pin reg =
+  let snap =
+    with_lock reg.reg_lock (fun () ->
+        match reg.current_snap with
+        | None -> invalid_arg "Snapshot.pin: nothing published yet"
+        | Some s ->
+            s.pins <- s.pins + 1;
+            s)
+  in
+  Metrics.incr reg.reg_metrics "snapshot.pins";
+  snap
+
+let unpin reg snap =
+  let freed =
+    with_lock reg.reg_lock (fun () ->
+        if snap.pins <= 0 then invalid_arg "Snapshot.unpin: not pinned";
+        snap.pins <- snap.pins - 1;
+        let is_current =
+          match reg.current_snap with Some c -> c == snap | None -> false
+        in
+        if snap.pins = 0 && not is_current then begin
+          reg.retired_snaps <-
+            List.filter (fun s -> s != snap) reg.retired_snaps;
+          reg.reclaimed_count <- reg.reclaimed_count + 1;
+          true
+        end
+        else false)
+  in
+  Metrics.incr reg.reg_metrics "snapshot.unpins";
+  if freed then begin
+    Metrics.incr reg.reg_metrics "snapshot.reclaims";
+    Fault.point "snapshot.reclaim"
+  end
+
+let live reg =
+  with_lock reg.reg_lock (fun () ->
+      (match reg.current_snap with Some _ -> 1 | None -> 0)
+      + List.length reg.retired_snaps)
+
+let retired reg =
+  with_lock reg.reg_lock (fun () -> List.length reg.retired_snaps)
+
+let published reg = with_lock reg.reg_lock (fun () -> reg.published_count)
+let reclaimed reg = with_lock reg.reg_lock (fun () -> reg.reclaimed_count)
+
+let max_retired reg =
+  with_lock reg.reg_lock (fun () -> reg.max_retired_count)
+
+let pp_registry ppf reg =
+  let cur, cur_pins, ret, pub, rec_, lag =
+    with_lock reg.reg_lock (fun () ->
+        ( Option.map (fun s -> s.epoch) reg.current_snap,
+          (match reg.current_snap with Some s -> s.pins | None -> 0),
+          List.length reg.retired_snaps,
+          reg.published_count,
+          reg.reclaimed_count,
+          reg.max_retired_count ))
+  in
+  Format.fprintf ppf
+    "snapshots: current epoch %s (%d pin%s), %d retired, %d published, %d \
+     reclaimed, max lag %d"
+    (match cur with None -> "none" | Some e -> string_of_int e)
+    cur_pins
+    (if cur_pins = 1 then "" else "s")
+    ret pub rec_ lag

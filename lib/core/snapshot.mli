@@ -1,0 +1,139 @@
+(** Immutable MVCC snapshots of committed sign epochs.
+
+    The paper's materialized-accessibility design makes a read cheap
+    but ties it to the mutable sign/bitmap store, so a mutation epoch
+    blocks the read path.  This module breaks that coupling: every
+    committed [sign_epoch] becomes an {e immutable versioned snapshot}
+    — a frozen copy of the document, a frozen {!Cam} over its signs,
+    lazily built per-role maps over its bitmaps, and a private
+    decision cache, all keyed by the epoch that committed them.
+    Readers {e pin} a snapshot (refcounted) and answer requests from
+    it for as long as they like while the engine builds the next epoch
+    against its own working set; a snapshot is {e reclaimed} (its
+    references dropped, so the GC frees the copy) only once it is no
+    longer current {e and} its pin count has returned to zero.
+
+    The MVCC invariants (DESIGN.md §10):
+
+    {ul
+    {- {e Readers never observe a partial epoch.}  A snapshot is
+       captured only from a committed materialization — the engine
+       publishes after [commit_op], never inside an open epoch — and
+       nothing mutates it afterwards, so every decision a pinned
+       reader computes is the decision the committed epoch would have
+       given.}
+    {- {e Reclaim only at refcount 0.}  [publish] retires the previous
+       current snapshot instead of dropping it while pins remain;
+       [unpin] reclaims a retired snapshot exactly when its last pin
+       is released.}}
+
+    A snapshot is safe to share across OCaml domains: the document
+    copy and the single-subject map are frozen at capture, and the two
+    mutable members (the per-role map table and the decision cache)
+    are guarded by a private mutex.  Registry operations cross the
+    fault points [snapshot.publish] (before the new snapshot is
+    installed) and [snapshot.reclaim] (after an old one is dropped),
+    so the crash sweeps can kill the writer at the reclaim boundaries
+    and verify pinned readers never notice. *)
+
+type t
+(** One immutable snapshot of a committed epoch. *)
+
+val capture :
+  epoch:int ->
+  policy:Policy.t ->
+  cam:Cam.t ->
+  metrics:Xmlac_util.Metrics.t ->
+  Xmlac_xml.Tree.t ->
+  t
+(** [capture ~epoch ~policy ~cam ~metrics doc] freezes the committed
+    materialization: a private [Tree.copy] of [doc] (signs and
+    bitmaps included) and a {!Cam.freeze} of [cam] (valid for the copy
+    because entries are keyed by node id).  O(nodes + CAM entries).
+    [metrics] receives the snapshot's lifetime counters
+    ([snapshot.captures], [snapshot.reads], [snapshot.cache.*],
+    [snapshot.role_cam_builds]). *)
+
+val epoch : t -> int
+(** The committed [sign_epoch] this snapshot captures. *)
+
+val document : t -> Xmlac_xml.Tree.t
+(** The frozen document copy.  Callers must not mutate it. *)
+
+val cam : t -> Cam.t
+(** The frozen single-subject accessibility map. *)
+
+val pins : t -> int
+(** Current pin count (readers holding this snapshot). *)
+
+val request : ?subject:string -> t -> string -> Requester.decision
+(** [request ?subject t query] answers the all-or-nothing request
+    from the snapshot alone: evaluate [query] on the frozen document,
+    check accessibility against the frozen CAM ([?subject]: a lazily
+    built per-role map over the frozen bitmaps), and memoize the
+    decision in the snapshot's private cache.  Full fidelity at the
+    snapshot's epoch — byte-identical to what the live engine decided
+    when this epoch was current — and never touches the live stores,
+    so it cannot block on (or be blocked by) the writer.  Crosses
+    {!Xmlac_util.Deadline.checkpoint}s through [Cam.lookup], so it
+    honours a caller-installed budget.
+    @raise Invalid_argument on an unparsable query or unknown role. *)
+
+(** {1 Registry: publish / pin / reclaim}
+
+    The engine owns one registry; it holds the {e current} snapshot
+    (the latest committed epoch) plus any {e retired} ones still kept
+    alive by pins. *)
+
+type registry
+
+val create_registry : metrics:Xmlac_util.Metrics.t -> unit -> registry
+(** An empty registry; nothing is current until the first
+    {!publish}. *)
+
+val publish : registry -> t -> unit
+(** Install [t] as the current snapshot.  The previous current is
+    reclaimed immediately when unpinned, and retired (kept for its
+    readers) otherwise.  Crosses [snapshot.publish] before the swap
+    and [snapshot.reclaim] after a reclaim, both outside the
+    registry lock. *)
+
+val current : registry -> t option
+val current_epoch : registry -> int option
+(** Epoch of the current snapshot; [None] before the first publish. *)
+
+val pin : registry -> t
+(** Pin and return the current snapshot.  The caller owes exactly one
+    {!unpin}.
+    @raise Invalid_argument before the first {!publish}. *)
+
+val unpin : registry -> t -> unit
+(** Release one pin.  A retired snapshot whose pin count reaches zero
+    is reclaimed on the spot (the invariant: reclaim only at refcount
+    0, and only of non-current snapshots).
+    @raise Invalid_argument when [t] is not pinned. *)
+
+(** {1 Observability}
+
+    Lifetime counters for [xmlacctl explain]/[serve] and the
+    concurrent bench's reclaim-lag figure. *)
+
+val live : registry -> int
+(** Snapshots currently reachable: current (if any) plus retired. *)
+
+val retired : registry -> int
+(** Retired snapshots still pinned by readers. *)
+
+val published : registry -> int
+(** Lifetime publishes. *)
+
+val reclaimed : registry -> int
+(** Lifetime reclaims. *)
+
+val max_retired : registry -> int
+(** High-water mark of the retired list — the reclaim lag: how far
+    readers have trailed the writer at worst. *)
+
+val pp_registry : Format.formatter -> registry -> unit
+(** Deterministic one-line summary (no addresses, no times) — safe
+    for golden CLI transcripts. *)

@@ -1,0 +1,135 @@
+type task = { run : unit -> unit }
+
+type t = {
+  size : int;
+  lock : Mutex.t;
+  todo : Condition.t;  (* signalled when [queue] gains a task or [stop] *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable is_shut : bool;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let worker_loop t () =
+  let rec loop () =
+    let job =
+      with_lock t (fun () ->
+          while Queue.is_empty t.queue && not t.stop do
+            Condition.wait t.todo t.lock
+          done;
+          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+    in
+    match job with
+    | None -> ()
+    | Some task ->
+        task.run ();
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | None -> min (Domain.recommended_domain_count ()) 64
+    | Some n -> max 1 (min n 64)
+  in
+  let t =
+    {
+      size;
+      lock = Mutex.create ();
+      todo = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      is_shut = false;
+    }
+  in
+  if size > 1 then
+    t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.size
+let sequential t = t.size = 1
+
+type 'a slot = Pending | Done of 'a | Raised of exn
+
+let check_live t = if t.is_shut then invalid_arg "Pool.parallel: pool is shut down"
+
+let parallel t thunks =
+  check_live t;
+  let n = List.length thunks in
+  if n = 0 then []
+  else if sequential t then
+    (* Deterministic mode: in submission order, on the calling domain. *)
+    List.map (fun f -> f ()) thunks
+  else begin
+    let slots = Array.make n Pending in
+    let remaining = ref n in
+    let done_ = Condition.create () in
+    let make_task i f =
+      {
+        run =
+          (fun () ->
+            let r = try Done (f ()) with e -> Raised e in
+            Mutex.lock t.lock;
+            slots.(i) <- r;
+            decr remaining;
+            if !remaining = 0 then Condition.broadcast done_;
+            Mutex.unlock t.lock);
+      }
+    in
+    Mutex.lock t.lock;
+    List.iteri
+      (fun i f ->
+        Queue.push (make_task i f) t.queue;
+        Condition.signal t.todo)
+      thunks;
+    Mutex.unlock t.lock;
+    (* The caller is a worker too: help drain the batch, then wait. *)
+    let rec help () =
+      let job =
+        with_lock t (fun () ->
+            if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+      in
+      match job with
+      | Some task ->
+          task.run ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock t.lock;
+    while !remaining > 0 do
+      Condition.wait done_ t.lock
+    done;
+    Mutex.unlock t.lock;
+    let first_exn = ref None in
+    let out =
+      Array.to_list
+        (Array.map
+           (function
+             | Done v -> Some v
+             | Raised e ->
+                 if !first_exn = None then first_exn := Some e;
+                 None
+             | Pending -> assert false)
+           slots)
+    in
+    match !first_exn with
+    | Some e -> raise e
+    | None -> List.map Option.get out
+  end
+
+let shutdown t =
+  if not t.is_shut then begin
+    t.is_shut <- true;
+    with_lock t (fun () ->
+        t.stop <- true;
+        Condition.broadcast t.todo);
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

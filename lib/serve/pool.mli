@@ -1,0 +1,45 @@
+(** A small fixed pool of worker domains for the concurrent front end.
+
+    [create ~domains] spawns [domains - 1] worker domains (the caller
+    counts as one); {!parallel} fans a batch of thunks out over them
+    and barriers until every thunk finished, returning results in
+    submission order.  Exceptions are captured per-thunk and re-raised
+    — the first one in submission order — after the barrier, so a
+    failing thunk can never wedge the pool.
+
+    When [domains = 1] — the default whenever
+    [Domain.recommended_domain_count () = 1], and the CLI's
+    [--domains 1] deterministic mode — no domains are spawned at all:
+    {!parallel} runs the thunks sequentially, in order, on the calling
+    domain.  Same API, same results, fully deterministic scheduling;
+    golden transcripts pin this mode.
+
+    The queue is a plain [Mutex]/[Condition] pair: workers block on
+    the condition, {!parallel} signals per task and waits on a second
+    condition for the batch's completion count.  {!shutdown} joins the
+    workers; using the pool afterwards raises [Invalid_argument]. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] — [domains] defaults to
+    [Domain.recommended_domain_count ()] (so a single-core runtime
+    gets the deterministic sequential mode without asking) and is
+    clamped to [\[1; 64\]].  An explicit [domains] is honoured even on
+    one core: domains timeshare, which is exactly what the concurrency
+    tests rely on. *)
+
+val size : t -> int
+(** Domains the pool computes with, caller included — [1] means
+    sequential mode. *)
+
+val sequential : t -> bool
+
+val parallel : t -> (unit -> 'a) list -> 'a list
+(** Run the thunks to completion and return their results in
+    submission order.  Re-raises the first (by submission order)
+    exception after all thunks finished.  Not reentrant: one
+    [parallel] batch at a time per pool. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent. *)

@@ -53,20 +53,7 @@ let default_config =
     seed = 1L;
   }
 
-(* The degradation snapshot: a private copy of the committed
-   materialization, answered from while a breaker is open.  It is only
-   trusted while [sign_epoch] still equals the engine's committed
-   epoch — mutations refresh it on commit and nothing commits while
-   degraded, so a mismatch can only mean the engine was mutated behind
-   the layer's back; then we deny everything. *)
-type snapshot = {
-  doc : Tree.t;
-  cam : Cam.t;
-  role_cams : (string, Cam.t) Hashtbl.t;
-      (** Per-role maps over the snapshot's bitmap slices, built
-          lazily on the first degraded request naming each role. *)
-  sign_epoch : int;
-}
+module Snapshot = Xmlac_core.Snapshot
 
 type mutation =
   | Update of string
@@ -83,18 +70,16 @@ type t = {
   breakers : (Engine.backend_kind * Breaker.t) list;
   rng : Prng.t;
   mutable queue : mutation list;  (* oldest first; bounded, tiny *)
-  mutable snapshot : snapshot;
+  (* The layer's pinned MVCC snapshot — the engine's versioned view of
+     the last epoch this layer saw commit.  While a breaker is open,
+     requests are answered deny-by-default from it.  It is only
+     trusted while its epoch still equals the engine's committed epoch
+     — mutations re-pin on commit and nothing commits while degraded,
+     so a mismatch can only mean the engine was mutated behind the
+     layer's back; then we deny everything (and count it under
+     [Metrics.stale_snapshot_denials]). *)
+  mutable snapshot : Snapshot.t;
 }
-
-let take_snapshot eng =
-  let doc = Tree.copy (Engine.document eng) in
-  let default = Policy.ds (Engine.policy eng) in
-  {
-    doc;
-    cam = Cam.build doc ~default;
-    role_cams = Hashtbl.create 4;
-    sign_epoch = Engine.sign_epoch eng;
-  }
 
 let create ?(config = default_config) eng =
   if config.max_retries < 0 then invalid_arg "Serve.create: max_retries < 0";
@@ -114,7 +99,7 @@ let create ?(config = default_config) eng =
     breakers;
     rng = Prng.create ~seed:config.seed;
     queue = [];
-    snapshot = take_snapshot eng;
+    snapshot = Engine.pin_snapshot eng;
   }
 
 let engine t = t.eng
@@ -122,7 +107,20 @@ let config t = t.config
 let breaker t kind = List.assoc kind t.breakers
 let metrics t = Engine.metrics t.eng
 let queued t = List.length t.queue
-let refresh_snapshot t = t.snapshot <- take_snapshot t.eng
+let snapshot t = t.snapshot
+
+let refresh_snapshot t =
+  let old = t.snapshot in
+  t.snapshot <- Engine.pin_snapshot t.eng;
+  (* The unpin may cross the [snapshot.reclaim] fault point.  The
+     registry mutates before the point raises, so the reclaim itself
+     is already consistent — and the layer's view is already re-pinned
+     above.  Contain the fault here: a transient is pure bookkeeping
+     noise, and a crash is picked up by [heal] on the next call. *)
+  match Engine.unpin_snapshot t.eng old with
+  | () -> ()
+  | exception (Fault.Transient _ | Fault.Crash _) ->
+      Metrics.incr (metrics t) "serve.reclaim_faults"
 
 (* ---------- error classification ---------- *)
 
@@ -176,7 +174,7 @@ let heal t =
 
 (* ---------- requests ---------- *)
 
-type served = Live | Degraded
+type served = Live | Degraded | Pinned
 
 type reply = {
   decision : Requester.decision;
@@ -191,60 +189,64 @@ let backoff t n =
   in
   t.config.sleep (Prng.float t.rng (max cap 0.0))
 
-(* One role's view of the snapshot, built on first use: the snapshot's
-   document copy carries the committed bitmaps, so a per-role CAM over
-   it answers that role deny-by-default with the same soundness
-   argument as the single-subject map. *)
-let snapshot_role_cam t role =
-  let snap = t.snapshot in
-  match Hashtbl.find_opt snap.role_cams role with
-  | Some c -> c
-  | None ->
-      let policy = Engine.policy t.eng in
-      let idx =
-        match Subject.index (Policy.subjects policy) role with
-        | Some i -> i
-        | None -> invalid_arg ("Serve: unknown role " ^ role)
-      in
-      let c =
-        Cam.build_role snap.doc ~role:idx
-          ~default:(Policy.resolved_ds policy role)
-      in
-      Hashtbl.replace snap.role_cams role c;
-      Metrics.incr (metrics t) "serve.role_cam_builds";
-      c
-
-(* Deny-by-default answer from the snapshot.  Sound because the
-   snapshot is a copy of a committed materialization and mutations
-   never commit while degraded; if the epochs disagree anyway the
-   snapshot is stale and everything is denied — per role as much as
-   for the anonymous subject. *)
-let degraded_decision ?subject t expr =
+(* Deny-by-default answer from the layer's pinned snapshot.  Sound
+   because the snapshot is a frozen committed materialization and
+   mutations never commit while degraded; if the epochs disagree
+   anyway the snapshot is stale and everything is denied — per role as
+   much as for the anonymous subject. *)
+let degraded_decision ?subject t query =
   let m = metrics t in
   Metrics.incr m "serve.degraded";
   (match subject with
   | Some role -> Metrics.incr m ("serve.degraded." ^ role)
   | None -> ());
   let snap = t.snapshot in
-  if snap.sign_epoch <> Engine.sign_epoch t.eng then begin
+  if Snapshot.epoch snap <> Engine.sign_epoch t.eng then begin
     Metrics.incr m "serve.degraded_stale";
+    Metrics.incr m Metrics.stale_snapshot_denials;
     Requester.Denied { blocked = 0 }
   end
-  else
-    let cam =
-      match subject with
-      | None -> snap.cam
-      | Some role -> snapshot_role_cam t role
-    in
-    let ids =
-      Xmlac_xpath.Eval.eval snap.doc expr
-      |> List.map (fun n -> n.Tree.id)
-      |> List.sort_uniq compare
-    in
-    Requester.decide ~ids ~accessible:(fun id ->
-        match Tree.find snap.doc id with
-        | Some n -> Cam.lookup cam n = Tree.Plus
-        | None -> false)
+  else Snapshot.request ?subject snap query
+
+(* Answer from an arbitrary pinned snapshot under the configured
+   deadline, with transient retries — the session read path.  Never
+   consults the engine, the live stores or the breakers: a pinned read
+   cannot block on the writer, and its outcome says nothing about
+   backend health.  [~served] distinguishes the session path (Pinned)
+   from degradation ([degraded_request] below reuses this loop). *)
+let snapshot_request_as ~served ?subject t snap query =
+  let m = metrics t in
+  let attempts = ref 0 in
+  match
+    Deadline.with_budget ~label:"snapshot"
+      ?ticks:t.config.deadline_ticks ?seconds:t.config.deadline_seconds
+      (fun () ->
+        let rec go n =
+          attempts := n;
+          try
+            match served with
+            | Degraded -> degraded_decision ?subject t query
+            | _ -> Snapshot.request ?subject snap query
+          with Fault.Transient _ when n <= t.config.max_retries ->
+            Metrics.incr m "serve.retries";
+            backoff t n;
+            go (n + 1)
+        in
+        go 1)
+  with
+  | decision -> Ok { decision; served; attempts = !attempts }
+  | exception exn ->
+      let err = typed_error ~attempts:!attempts exn in
+      Metrics.incr m "serve.errors";
+      Metrics.incr m ("serve.errors." ^ error_class_to_string err.class_);
+      Error err
+
+let snapshot_request ?subject t snap query =
+  Metrics.incr (metrics t) "serve.pinned";
+  snapshot_request_as ~served:Pinned ?subject t snap query
+
+let degraded_request ?subject t query =
+  snapshot_request_as ~served:Degraded ?subject t t.snapshot query
 
 let live_request ?subject t kind br query =
   let m = metrics t in
@@ -284,7 +286,7 @@ let request ?subject t kind query =
              breaker. *)
           Metrics.incr (metrics t) "serve.parse_errors";
           Error { class_ = Fatal; site = "parse"; attempts = 0; message = msg }
-      | expr -> (
+      | _expr -> (
           match subject with
           | Some role when not (known_role t role) ->
               (* Like a parse error: a caller-side mistake, not a
@@ -302,13 +304,7 @@ let request ?subject t kind query =
               heal t;
               let br = breaker t kind in
               match Breaker.admit br with
-              | `Reject ->
-                  Ok
-                    {
-                      decision = degraded_decision ?subject t expr;
-                      served = Degraded;
-                      attempts = 0;
-                    }
+              | `Reject -> degraded_request ?subject t query
               | `Admit -> live_request ?subject t kind br query)))
 
 (* ---------- mutations ---------- *)
@@ -366,6 +362,10 @@ let run_mutation t mu =
     (* A retried attempt may follow a fault that left a WAL epoch
        dangling; clear it before applying again. *)
     heal t;
+    (* The committed epoch as of this attempt: a fault raised {e after}
+       the epoch advanced past it (e.g. at the snapshot-publish points)
+       means the mutation is durable and must not be re-applied. *)
+    let committed0 = Engine.sign_epoch t.eng in
     match
       Deadline.with_budget ~label:"mutation" ?ticks:t.config.deadline_ticks
         ?seconds:t.config.deadline_seconds
@@ -380,11 +380,16 @@ let run_mutation t mu =
         if Engine.open_epoch t.eng <> None || Fault.killed () then begin
           (* The fault interrupted the epoch: play the restart.
              Structural operations recover by roll-forward — the
-             mutation committed anyway. *)
+             mutation committed anyway.  A crash that hit after the
+             commit itself (no open epoch, but the counter moved)
+             already has nothing to recover; the same report fits. *)
           Metrics.incr m "serve.auto_recoveries";
           let r = Engine.recover t.eng in
           refresh_snapshot t;
-          if r.Engine.direction = `Forward then begin
+          if
+            r.Engine.direction = `Forward
+            || Engine.sign_epoch t.eng > committed0
+          then begin
             Metrics.incr m "serve.recovered_mutations";
             record_failure t err.site;
             Ok Recovered
@@ -401,6 +406,16 @@ let run_mutation t mu =
               ("serve.errors." ^ error_class_to_string err.class_);
             Error err
           end
+        end
+        else if Engine.sign_epoch t.eng > committed0 then begin
+          (* Transient fault past the commit point: the epoch is
+             durable, only the snapshot publish was interrupted.
+             Re-pinning repairs the layer's view; retrying would apply
+             the mutation twice. *)
+          Metrics.incr m "serve.recovered_mutations";
+          refresh_snapshot t;
+          record_failure t err.site;
+          Ok Recovered
         end
         else if err.class_ = Transient && n <= t.config.max_retries then begin
           (* Fault before the epoch opened: plain retry. *)
@@ -449,6 +464,8 @@ type health = {
   snapshot_epoch : int;
   committed_epoch : int;
   degraded : bool;
+  stale_snapshot_denials : int;
+  pinned_snapshots : int;
 }
 
 let health (t : t) =
@@ -459,9 +476,12 @@ let health (t : t) =
         t.breakers;
     open_epoch = Engine.open_epoch t.eng;
     queued_mutations = List.length t.queue;
-    snapshot_epoch = t.snapshot.sign_epoch;
+    snapshot_epoch = Snapshot.epoch t.snapshot;
     committed_epoch = Engine.sign_epoch t.eng;
     degraded = List.exists (fun (_, s) -> s <> Breaker.Closed) states;
+    stale_snapshot_denials =
+      Metrics.counter (metrics t) Metrics.stale_snapshot_denials;
+    pinned_snapshots = Snapshot.live (Engine.snapshots t.eng);
   }
 
 let healthy h =
@@ -480,6 +500,9 @@ let pp_health ppf h =
   Format.fprintf ppf "queued      %d@." h.queued_mutations;
   Format.fprintf ppf "snapshot    epoch %d (committed %d)@." h.snapshot_epoch
     h.committed_epoch;
+  Format.fprintf ppf "snapshots   %d live, %d stale denial%s@."
+    h.pinned_snapshots h.stale_snapshot_denials
+    (if h.stale_snapshot_denials = 1 then "" else "s");
   Format.fprintf ppf "status      %s@."
     (if healthy h then "healthy"
      else if h.degraded then "degraded"

@@ -15,12 +15,19 @@
        [max_retries];}
     {- {e circuit breaking + fail-closed degradation}: each backend
        owns a {!Breaker}; while one is open its requests are answered
-       {e deny-by-default} from the last coherent snapshot of the
-       committed materialization, and mutations queue (bounded) or are
-       rejected.  A degraded answer can only {e deny} more than the
-       healthy path would — never grant more (the fail-closed
-       invariant the soak tests replay under seeded fault
-       schedules).}}
+       {e deny-by-default} from the layer's pinned
+       {!Xmlac_core.Snapshot} of the committed materialization, and
+       mutations queue (bounded) or are rejected.  A degraded answer
+       can only {e deny} more than the healthy path would — never
+       grant more (the fail-closed invariant the soak tests replay
+       under seeded fault schedules).}}
+
+    Since the MVCC refactor the layer is also the concurrent front
+    end's toolbox: {!snapshot_request} answers from {e any} pinned
+    snapshot — the {!Session} read path — under the same deadline and
+    retry machinery, without ever touching the live stores or the
+    breakers, so worker domains running pinned reads can never block
+    on (or be corrupted by) the writer's next epoch.
 
     The layer also self-heals: if a fault killed the process mid-epoch
     (open epoch, poisoned fault registry), the next call through the
@@ -78,18 +85,27 @@ type t
 
 val create : ?config:config -> Engine.t -> t
 (** Wraps an engine: one breaker per backend (named after the
-    backend, metrics mirrored into the engine's registry) and an
-    initial degradation snapshot of the committed materialization. *)
+    backend, metrics mirrored into the engine's registry), and pins
+    the engine's current MVCC snapshot as the degradation view. *)
 
 val engine : t -> Engine.t
 val config : t -> config
 val breaker : t -> Engine.backend_kind -> Breaker.t
 
+val snapshot : t -> Xmlac_core.Snapshot.t
+(** The layer's pinned snapshot — the last committed epoch this layer
+    saw.  Re-pinned on every committed mutation, successful recovery
+    and {!refresh_snapshot}. *)
+
 (** {1 Requests} *)
 
 type served =
   | Live  (** Answered by the engine. *)
-  | Degraded  (** Answered deny-by-default from the snapshot. *)
+  | Degraded  (** Answered deny-by-default from the pinned snapshot. *)
+  | Pinned
+      (** Answered from a caller-pinned snapshot ({!snapshot_request})
+          — the session read path; full fidelity at that snapshot's
+          epoch. *)
 
 type reply = {
   decision : Xmlac_core.Requester.decision;
@@ -114,7 +130,23 @@ val request :
     {!Engine.request}'s subject path, degraded calls through a
     lazily built per-role CAM over the snapshot's bitmaps — the
     fail-closed invariant holds per role (blanket denial on a stale
-    snapshot included). *)
+    snapshot included).  Stale blanket denials are counted under
+    {!Xmlac_util.Metrics.stale_snapshot_denials}. *)
+
+val snapshot_request :
+  ?subject:string ->
+  t ->
+  Xmlac_core.Snapshot.t ->
+  string ->
+  (reply, error) result
+(** The session read path: answer [query] from [snap] — typically one
+    the caller pinned with {!Engine.pin_snapshot} — under the
+    configured deadline, with transient retries.  Never consults the
+    engine, the live stores or the breakers: full fidelity at the
+    snapshot's epoch, zero blocking on the writer, and no staleness
+    check — an old pinned snapshot {e is} the version the session
+    asked to read.  Parse errors and unknown roles surface as [Fatal]
+    errors like {!request}'s. *)
 
 (** {1 Mutations} *)
 
@@ -163,9 +195,16 @@ type health = {
   trips : int;  (** Lifetime trips across all breakers. *)
   open_epoch : int option;
   queued_mutations : int;
-  snapshot_epoch : int;  (** Committed epoch the snapshot captures. *)
+  snapshot_epoch : int;  (** Committed epoch the pinned snapshot captures. *)
   committed_epoch : int;
   degraded : bool;  (** Some breaker is not closed. *)
+  stale_snapshot_denials : int;
+      (** Lifetime degraded requests blanket-denied because the pinned
+          snapshot trailed the committed epoch
+          ({!Xmlac_util.Metrics.stale_snapshot_denials}). *)
+  pinned_snapshots : int;
+      (** Snapshots alive in the engine's registry (current +
+          retired-but-pinned). *)
 }
 
 val health : t -> health
@@ -176,6 +215,6 @@ val pp_health : Format.formatter -> health -> unit
 (** Deterministic, time-free — safe for golden CLI transcripts. *)
 
 val refresh_snapshot : t -> unit
-(** Re-capture the degradation snapshot from the current committed
-    materialization.  Call after mutating the engine behind the
-    layer's back. *)
+(** Re-pin the engine's current snapshot as the degradation view
+    (unpinning the previous one).  Call after mutating the engine
+    behind the layer's back. *)

@@ -1,0 +1,47 @@
+module Engine = Xmlac_core.Engine
+module Policy = Xmlac_core.Policy
+module Subject = Xmlac_core.Subject
+module Snapshot = Xmlac_core.Snapshot
+module Metrics = Xmlac_util.Metrics
+
+type t = {
+  serve : Serve.t;
+  subject : string option;
+  mutable snap : Snapshot.t;
+  mutable is_closed : bool;
+}
+
+let open_ ?subject serve =
+  let eng = Serve.engine serve in
+  (match subject with
+  | Some role
+    when not (Subject.mem (Policy.subjects (Engine.policy eng)) role) ->
+      invalid_arg (Printf.sprintf "Session.open_: unknown role %S" role)
+  | _ -> ());
+  Metrics.incr (Engine.metrics eng) "serve.sessions";
+  { serve; subject; snap = Engine.pin_snapshot eng; is_closed = false }
+
+let subject t = t.subject
+let epoch t = Snapshot.epoch t.snap
+let snapshot t = t.snap
+let closed t = t.is_closed
+
+let check_open t what =
+  if t.is_closed then invalid_arg ("Session." ^ what ^ ": session is closed")
+
+let request t query =
+  check_open t "request";
+  Serve.snapshot_request ?subject:t.subject t.serve t.snap query
+
+let refresh t =
+  check_open t "refresh";
+  let eng = Serve.engine t.serve in
+  let old = t.snap in
+  t.snap <- Engine.pin_snapshot eng;
+  Engine.unpin_snapshot eng old
+
+let close t =
+  if not t.is_closed then begin
+    t.is_closed <- true;
+    Engine.unpin_snapshot (Serve.engine t.serve) t.snap
+  end

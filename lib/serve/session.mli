@@ -1,0 +1,47 @@
+(** Session-scoped snapshot reads: one subject, one pinned epoch.
+
+    The front end's unit of work, after the sirix [XmlSessionDBStore]
+    pattern: a caller opens a session against the serving layer, the
+    session authenticates a subject (a declared role, or the anonymous
+    single-subject view) and pins the engine's current MVCC snapshot,
+    and every request through the session is answered from that pinned
+    version — repeatable reads for the session's whole lifetime, no
+    matter how many epochs the writer commits meanwhile.  {!close}
+    releases the pin (letting the snapshot be reclaimed once every
+    session holding it is done); {!refresh} is the explicit opt-in to
+    a newer version.
+
+    Sessions are cheap (a pin is a refcount bump) and single-owner:
+    one session is meant to be driven by one worker at a time — the
+    snapshot underneath is safe to share, but a session's own
+    lifecycle state is not locked. *)
+
+type t
+
+val open_ : ?subject:string -> Serve.t -> t
+(** [open_ ?subject serve] validates [subject] against the declared
+    roles and pins the current committed snapshot.
+    @raise Invalid_argument on an unknown role. *)
+
+val subject : t -> string option
+val epoch : t -> int
+(** The pinned epoch — constant for the session's lifetime (until
+    {!refresh}). *)
+
+val snapshot : t -> Xmlac_core.Snapshot.t
+
+val request : t -> string -> (Serve.reply, Serve.error) result
+(** Answer from the pinned snapshot via {!Serve.snapshot_request}:
+    deadline-budgeted, transient-retried, never blocking on the
+    writer.  Replies are served [Pinned].
+    @raise Invalid_argument on a closed session. *)
+
+val refresh : t -> unit
+(** Re-pin the engine's current snapshot — the session's reads move
+    forward to the latest committed epoch.
+    @raise Invalid_argument on a closed session. *)
+
+val close : t -> unit
+(** Release the session's pin.  Idempotent. *)
+
+val closed : t -> bool

@@ -7,21 +7,26 @@ type budget = {
   mutable clock_countdown : int;  (* checkpoints until next clock read *)
 }
 
-(* One process, one active call — the same ambient model as Fault's
-   registry.  [with_budget] shadows and restores, so nesting works. *)
-let current : budget option ref = ref None
+(* One domain, one active call.  The ambient budget is domain-local
+   state (DLS): each worker domain in the serving pool installs and
+   checks its own budget without seeing — or expiring — anyone
+   else's.  [with_budget] shadows and restores, so nesting works. *)
+let key : budget option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = Domain.DLS.get key
 
 (* Reading the clock on every checkpoint would dominate tight loops;
    one read per stride keeps the overshoot bounded and small. *)
 let clock_stride = 32
 
-let active () = !current <> None
+let active () = !(current ()) <> None
 
 let remaining_ticks () =
-  match !current with Some b -> b.ticks | None -> None
+  match !(current ()) with Some b -> b.ticks | None -> None
 
 let checkpoint () =
-  match !current with
+  match !(current ()) with
   | None -> ()
   | Some b ->
       (match b.ticks with
@@ -34,7 +39,7 @@ let checkpoint () =
           b.clock_countdown <- b.clock_countdown - 1;
           if b.clock_countdown <= 0 then begin
             b.clock_countdown <- clock_stride;
-            if Timing.now () > d then raise (Expired b.label)
+            if Timing.now_wall () > d then raise (Expired b.label)
           end)
 
 let with_budget ?(label = "deadline") ?ticks ?seconds f =
@@ -51,10 +56,11 @@ let with_budget ?(label = "deadline") ?ticks ?seconds f =
         {
           label;
           ticks;
-          deadline = Option.map (fun s -> Timing.now () +. s) seconds;
+          deadline = Option.map (fun s -> Timing.now_wall () +. s) seconds;
           clock_countdown = 1;  (* first checkpoint reads the clock *)
         }
       in
-      let saved = !current in
-      current := Some b;
-      Fun.protect ~finally:(fun () -> current := saved) f
+      let cell = current () in
+      let saved = !cell in
+      cell := Some b;
+      Fun.protect ~finally:(fun () -> cell := saved) f

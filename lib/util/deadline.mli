@@ -15,14 +15,16 @@
     - {e ticks} — a count of checkpoint crossings.  Deterministic, so
       the tests and the seeded soak harness use it to force timeouts
       at exactly reproducible places.
-    - {e seconds} — wall clock against {!Timing.now}, checked every
-      few ticks to amortize the clock read.  What a real deployment
-      sets.
+    - {e seconds} — wall clock against {!Timing.now_wall}, checked
+      every few ticks to amortize the clock read.  What a real
+      deployment sets.
 
     Budgets nest: an inner {!with_budget} shadows the outer one for
     its extent and the outer budget is restored on exit (normal or
-    exceptional).  The installed budget is a per-process ambient, like
-    {!Fault}'s registry — one process, one active call. *)
+    exceptional).  The installed budget is {e domain-local}
+    ([Domain.DLS]): every worker domain in the serving pool carries
+    its own ambient budget, so one reader's expiry never interrupts
+    another's call — one domain, one active call. *)
 
 exception Expired of string
 (** Raised by {!checkpoint} once the active budget is exhausted,

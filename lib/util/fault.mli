@@ -31,7 +31,11 @@
 
     The state is global (one "process", one crash), which is exactly
     the model being simulated; tests that arm faults must
-    {!recover}/{!reset} between cases. *)
+    {!recover}/{!reset} between cases.  A private mutex makes every
+    operation atomic across OCaml domains — a crash trigger fired on
+    one domain is observed as a killed process by every other domain's
+    next {!point} crossing — and {!point} raises outside the lock, so
+    an armed fault never propagates with the lock held. *)
 
 exception Crash of string
 (** Raised by {!point}, carrying the fault point's name. *)

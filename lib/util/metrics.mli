@@ -9,10 +9,24 @@
     leak between two systems living in one process.
 
     All operations are O(1) hash-table updates; a counter that was
-    never touched reads as zero. *)
+    never touched reads as zero.
+
+    A registry is safe to share across OCaml domains: a private mutex
+    guards the tables, so snapshot readers on worker domains can bump
+    counters while the writer domain runs its stage timers.  Stage
+    re-entrancy is tracked per registry (not per domain) — stage
+    timers are meaningful on the single writer path, counters
+    everywhere. *)
 
 type t
 (** A mutable registry of counters and stage timers. *)
+
+val stale_snapshot_denials : string
+(** The canonical counter name (["serve.stale_snapshot_denials"]) for
+    degraded requests answered with a blanket denial because the
+    pinned snapshot's epoch no longer matches the committed
+    [sign_epoch].  Incremented by [Serve], surfaced by
+    [xmlacctl explain --request] and [xmlacctl health]. *)
 
 val create : unit -> t
 

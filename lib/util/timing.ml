@@ -1,8 +1,11 @@
-(* [Sys.time] measures processor time, which for this single-threaded
-   CPU-bound library coincides with wall time and needs no extra
-   dependency (Unix is not linked). *)
+(* [Sys.time] measures processor time, which for a single-threaded
+   CPU-bound caller coincides with wall time.  Concurrent callers
+   (the domain pool, the latency benches) must use [now_wall]:
+   processor time aggregates across domains and would overstate
+   per-request latency by the domain count. *)
 
 let now () = Sys.time ()
+let now_wall () = Unix.gettimeofday ()
 
 let time f =
   let t0 = now () in
@@ -27,6 +30,17 @@ let repeat_until ~min_runs ~min_seconds f =
     incr runs
   done;
   (now () -. t0) /. float_of_int !runs
+
+let percentile samples ~p =
+  if Array.length samples = 0 then invalid_arg "Timing.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Timing.percentile: p outside [0,100]";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  (* Nearest-rank on the sorted sample: deterministic and defined for
+     tiny sample counts, which the walkthrough transcripts rely on. *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
 
 let pp_seconds ppf s =
   let abs = Float.abs s in

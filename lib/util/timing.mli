@@ -7,7 +7,19 @@
     so the clock source and its resolution are decided in one place. *)
 
 val now : unit -> float
-(** Monotonic time in seconds. *)
+(** Processor time in seconds.  Equals wall time only while the
+    process is single-threaded and CPU-bound; concurrent measurements
+    must use {!now_wall}. *)
+
+val now_wall : unit -> float
+(** Wall-clock time in seconds ([Unix.gettimeofday]).  The clock
+    behind every concurrent latency figure: processor time aggregates
+    across OCaml domains and would overstate per-request latency. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile samples ~p] is the nearest-rank [p]-th percentile
+    (0 <= [p] <= 100) of [samples], which is left unmodified.
+    Raises [Invalid_argument] on an empty array. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with the elapsed wall

@@ -54,3 +54,9 @@ show explain auction.policy --dtd xmark --doc site.xml \
   --subject visitor --subject auditor
 show health auction.policy --dtd xmark --doc site.xml \
   --requests 24 --fault-rate 0.25 --seed 7
+# Concurrent front end, pinned to --domains 1 so the scheduler is the
+# deterministic sequential fallback and the transcript stays stable;
+# the reader lines are identical at any domain count because every
+# session answers from the epoch it pinned at open.
+show serve auction.policy --dtd xmark --doc site.xml \
+  --readers 4 --requests 6 --churn 3 --domains 1
