@@ -50,6 +50,11 @@ bench-multirole:
 bench-concurrent:
 	dune exec bench/main.exe -- -e concurrent
 
+# Rewrite lane vs materialization: per-lane p50/p99 and the
+# queries-until-breakeven crossover on every store.
+bench-rewrite:
+	dune exec bench/main.exe -- -e rewrite
+
 doc:
 	dune build @doc
 
@@ -59,4 +64,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent doc quickstart clean
+.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent bench-rewrite doc quickstart clean

@@ -1,0 +1,148 @@
+(* Rewrite lane vs materialization: the queries-until-breakeven
+   crossover (PR 8).
+
+   Not a paper artifact — this prices the two enforcement lanes
+   against each other.  The paper's lane pays an up-front annotation
+   pass A, then answers each query with cheap sign reads (per-query
+   cost m).  The rewrite lane pays nothing up front but compiles and
+   evaluates two plans per query (per-query cost r, zero sign reads).
+   With r > m the materialized lane amortizes its pass after
+
+     breakeven = ceil(A / (r - m))
+
+   queries; below that many queries the rewrite lane is the cheaper
+   way to serve a cold store.  Each store is measured never-annotated
+   first (rewrite lane), then annotated and measured again
+   (materialized lane); both lanes' decisions are compared
+   query-by-query on the way, so the table doubles as an equivalence
+   spot check. *)
+
+module Tree = Xmlac_xml.Tree
+module Timing = Xmlac_util.Timing
+module Tabular = Xmlac_util.Tabular
+open Xmlac_core
+
+let rounds = 5
+
+let percentile p samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let run (cfg : Bench_common.config) =
+  Bench_common.section
+    "Rewrite lane vs materialization: queries-until-breakeven";
+  let factor = 0.01 in
+  let doc = Bench_common.doc factor in
+  let policy = Bench_common.mid_coverage_policy factor in
+  let schema = Bench_common.schema_graph in
+  let exprs =
+    Xmlac_workload.Queries.response_queries ~n:cfg.Bench_common.query_count ()
+  in
+  Printf.printf "document: %d nodes (factor %s); %d queries x %d rounds\n"
+    (Tree.size doc)
+    (Bench_common.pp_factor factor)
+    (List.length exprs) rounds;
+  let t =
+    Tabular.create
+      ~headers:
+        [
+          "backend"; "annotate"; "rewrite p50/p99"; "mat p50/p99"; "breakeven";
+          "agree";
+        ]
+  in
+  let summary = ref [] in
+  let measure req =
+    (* Per-query latency samples across all rounds, seconds. *)
+    let samples = ref [] in
+    for _ = 1 to rounds do
+      List.iter
+        (fun e ->
+          let _, s = Timing.time (fun () -> ignore (req e)) in
+          samples := s :: !samples)
+        exprs
+    done;
+    !samples
+  in
+  List.iter
+    (fun (store : Bench_common.store) ->
+      let b = store.Bench_common.backend in
+      (* 1. Cold store: the rewrite lane needs no annotation at all.
+         The policy's own plan is compiled once up front — the engine
+         caches it the same way — so r prices exactly the per-query
+         work: compiling the request against the plan and evaluating
+         granted + residue. *)
+      let plan = Plan.rewrite ~schema (Plan.of_policy policy) in
+      let rewrite_answers =
+        List.map
+          (fun e -> Requester.request_rewritten ~schema ~plan b policy e)
+          exprs
+      in
+      let r_samples =
+        measure (fun e -> Requester.request_rewritten ~schema ~plan b policy e)
+      in
+      (* 2. Pay the materialization pass, then measure the sign-read lane. *)
+      let _, annotate_s =
+        Timing.time (fun () -> ignore (Annotator.annotate b policy))
+      in
+      let default = Policy.ds policy in
+      let mat_answers =
+        List.map (fun e -> Requester.request b ~default e) exprs
+      in
+      let m_samples = measure (fun e -> Requester.request b ~default e) in
+      let agree =
+        List.for_all2 (fun a b -> a = b) rewrite_answers mat_answers
+      in
+      let mean xs =
+        List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+      in
+      let r_mean = mean r_samples and m_mean = mean m_samples in
+      let breakeven =
+        if r_mean > m_mean then
+          Some (int_of_float (ceil (annotate_s /. (r_mean -. m_mean))))
+        else None (* rewriting is never slower: annotation never pays off *)
+      in
+      let p50 = percentile 0.50 and p99 = percentile 0.99 in
+      summary :=
+        ( store.Bench_common.label,
+          annotate_s,
+          (p50 r_samples, p99 r_samples),
+          (p50 m_samples, p99 m_samples),
+          breakeven,
+          agree )
+        :: !summary;
+      Tabular.add_row t
+        [
+          store.Bench_common.label;
+          Bench_common.pp_secs annotate_s;
+          Printf.sprintf "%s/%s"
+            (Bench_common.pp_secs (p50 r_samples))
+            (Bench_common.pp_secs (p99 r_samples));
+          Printf.sprintf "%s/%s"
+            (Bench_common.pp_secs (p50 m_samples))
+            (Bench_common.pp_secs (p99 m_samples));
+          (match breakeven with
+          | Some n -> Printf.sprintf "%d queries" n
+          | None -> "never (rewrite wins)");
+          (if agree then "yes" else "NO");
+        ])
+    (Bench_common.stores_for doc ~default_sign:"-");
+  Tabular.print t;
+
+  (* Machine-readable block for the CI artifact. *)
+  print_endline "summary:";
+  List.iter
+    (fun (label, annotate_s, (rp50, rp99), (mp50, mp99), breakeven, agree) ->
+      Printf.printf
+        "  rewrite.%s: annotate_s=%.6f rewrite_p50_us=%.1f rewrite_p99_us=%.1f \
+         mat_p50_us=%.1f mat_p99_us=%.1f breakeven_queries=%s lanes_agree=%b\n"
+        label annotate_s (rp50 *. 1e6) (rp99 *. 1e6) (mp50 *. 1e6)
+        (mp99 *. 1e6)
+        (match breakeven with Some n -> string_of_int n | None -> "inf")
+        agree)
+    (List.rev !summary);
+  print_endline
+    "expected shape: lanes agree on every query; the crossover reports how \
+     many queries amortize one annotation pass per store."

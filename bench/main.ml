@@ -19,6 +19,7 @@ type experiment =
   | Ablation
   | AblationPlan
   | Requester
+  | Rewrite
   | Multirole
   | Recovery
   | Resilience
@@ -36,6 +37,7 @@ let experiment_of_string = function
   | "ablation" -> Ok Ablation
   | "ablation-plan" -> Ok AblationPlan
   | "requester" -> Ok Requester
+  | "rewrite" -> Ok Rewrite
   | "multirole" -> Ok Multirole
   | "recovery" -> Ok Recovery
   | "resilience" -> Ok Resilience
@@ -59,6 +61,7 @@ let experiment_conv =
           | Ablation -> "ablation"
           | AblationPlan -> "ablation-plan"
           | Requester -> "requester"
+          | Rewrite -> "rewrite"
           | Multirole -> "multirole"
           | Recovery -> "recovery"
           | Resilience -> "resilience"
@@ -76,6 +79,7 @@ let run_one cfg = function
   | Ablation -> Exp_ablation.run cfg
   | AblationPlan -> Exp_ablation_plan.run cfg
   | Requester -> Exp_requester.run cfg
+  | Rewrite -> Exp_rewrite.run cfg
   | Multirole -> Exp_multirole.run cfg
   | Recovery -> Exp_recovery.run cfg
   | Resilience -> Exp_resilience.run cfg
@@ -91,6 +95,7 @@ let run_one cfg = function
       Exp_ablation.run cfg;
       Exp_ablation_plan.run cfg;
       Exp_requester.run cfg;
+      Exp_rewrite.run cfg;
       Exp_multirole.run cfg;
       Exp_recovery.run cfg;
       Exp_resilience.run cfg;
@@ -122,8 +127,8 @@ let main experiments full updates factors =
 let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
-     ablation-plan, requester, multirole, recovery, resilience, concurrent, \
-     micro or all \
+     ablation-plan, requester, rewrite, multirole, recovery, resilience, \
+     concurrent, micro or all \
      (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)

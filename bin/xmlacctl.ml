@@ -69,6 +69,28 @@ let role_bit policy role =
       die "unknown role %S (declared: %s)" role
         (String.concat ", " (Policy.roles policy))
 
+(* Shared --lane flag: which enforcement lane answers requests. *)
+let lane_arg =
+  let lane_conv =
+    let parse s =
+      match Rewrite.lane_of_string s with
+      | Some l -> Ok l
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "invalid lane %S (expected auto, materialized or rewrite)"
+                  s))
+    in
+    Arg.conv (parse, Rewrite.pp_lane)
+  in
+  Arg.(value & opt lane_conv Rewrite.Auto
+       & info [ "lane" ]
+           ~doc:"Enforcement lane: $(b,auto) picks per store (the \
+                 query-rewrite lane when there is no materialized \
+                 annotation to read), $(b,materialized) forces the paper's \
+                 sign/bitmap lane, $(b,rewrite) forces static query \
+                 rewriting — zero sign or bitmap reads.")
+
 (* --- generate ----------------------------------------------------- *)
 
 let generate factor seed output =
@@ -171,17 +193,38 @@ let annotate_cmd =
 
 (* --- query -------------------------------------------------------- *)
 
-let query doc_path policy_path subject q =
+let query doc_path policy_path subject lane q =
   let doc = load_doc doc_path in
   let policy = load_policy policy_path in
   let backend = Xml_backend.make doc in
+  let lane, why =
+    match lane with
+    | Rewrite.Auto ->
+        (* A document that arrives with no sign attribute at all was
+           never annotated: serve it through the rewrite lane rather
+           than answering from defaults that materialization never
+           confirmed. *)
+        if Tree.signed doc Tree.Plus = [] && Tree.signed doc Tree.Minus = []
+        then (Rewrite.Rewrite, "document carries no signs")
+        else (Rewrite.Materialized, "document carries signs")
+    | forced -> (forced, "forced")
+  in
+  Printf.eprintf "lane %s (%s)\n%!" (Rewrite.lane_to_string lane) why;
   let decision =
-    match subject with
-    | None ->
+    match (lane, subject) with
+    | Rewrite.Rewrite, None ->
+        (* Static rewriting: the policy's accessible region intersected
+           with the query, no sign read, no annotation pass. *)
+        Requester.request_rewritten backend policy (Requester.parse_or_fail q)
+    | Rewrite.Rewrite, Some role ->
+        let _ = role_bit policy role in
+        Requester.request_rewritten ~subject:role backend policy
+          (Requester.parse_or_fail q)
+    | _, None ->
         (* The document is expected to be annotated already (sign
            attributes); unannotated nodes fall back to the default. *)
         Requester.request_string backend ~default:(Policy.ds policy) q
-    | Some role ->
+    | _, Some role ->
         (* Per-role request: materialize every role's bitmap with the
            shared pass, then check the named role's bit. *)
         let idx = role_bit policy role in
@@ -225,8 +268,8 @@ let query_cmd =
   let q = Arg.(required & pos 2 (some string) None & info [] ~docv:"XPATH") in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"All-or-nothing request against an annotated document (exit code 3 on denial).")
-    Term.(const query $ doc_path $ policy_path $ subject $ q)
+       ~doc:"All-or-nothing request against a document (exit code 3 on denial).")
+    Term.(const query $ doc_path $ policy_path $ subject $ lane_arg $ q)
 
 (* --- roles -------------------------------------------------------- *)
 
@@ -317,7 +360,7 @@ let depend_cmd =
 
 (* --- explain ------------------------------------------------------ *)
 
-let explain policy_path dtd_name doc_path raw requests subjects =
+let explain policy_path dtd_name doc_path raw requests subjects lane =
   let policy = load_policy policy_path in
   let policy = if raw then policy else Optimizer.optimize_policy policy in
   let dtd = load_dtd dtd_name in
@@ -336,26 +379,34 @@ let explain policy_path dtd_name doc_path raw requests subjects =
   | queries, Some doc ->
       let eng = Engine.create ~optimize:(not raw) ~dtd ~policy doc in
       List.iter (fun role -> ignore (role_bit (Engine.policy eng) role)) subjects;
-      let _ = Engine.annotate_all eng in
-      if subjects <> [] then begin
-        let _, stats = List.hd (Engine.annotate_subjects_all eng) in
-        Printf.printf
-          "subjects: %d role(s), %d distinct plan(s), %d shared\n"
-          stats.Annotator.roles stats.Annotator.distinct_plans
-          stats.Annotator.shared_plans
-      end;
+      (* A forced rewrite lane leaves the store cold on purpose — the
+         whole point is answering with zero sign or bitmap reads. *)
+      (match lane with
+      | Rewrite.Rewrite -> ()
+      | _ ->
+          let _ = Engine.annotate_all eng in
+          if subjects <> [] then begin
+            let _, stats = List.hd (Engine.annotate_subjects_all eng) in
+            Printf.printf
+              "subjects: %d role(s), %d distinct plan(s), %d shared\n"
+              stats.Annotator.roles stats.Annotator.distinct_plans
+              stats.Annotator.shared_plans
+          end);
       print_endline "requester fast lane:";
       Format.printf "  %a@." Cam.pp (Engine.cam eng);
+      let resolved, why = Engine.resolve_lane ~lane eng Engine.Native in
+      Printf.printf "  lane              %s (%s)\n"
+        (Rewrite.lane_to_string resolved) why;
       List.iter
         (fun q ->
-          let cold = Engine.request eng Engine.Native q in
-          let warm = Engine.request eng Engine.Native q in
+          let cold = Engine.request ~lane eng Engine.Native q in
+          let warm = Engine.request ~lane eng Engine.Native q in
           ignore cold;
           Format.printf "  %-40s -> %a@." q Requester.pp warm;
           List.iter
             (fun role ->
-              let cold = Engine.request ~subject:role eng Engine.Native q in
-              let warm = Engine.request ~subject:role eng Engine.Native q in
+              let cold = Engine.request ~subject:role ~lane eng Engine.Native q in
+              let warm = Engine.request ~subject:role ~lane eng Engine.Native q in
               ignore cold;
               Format.printf "  %-40s -> %a@."
                 (Printf.sprintf "%s [as %s]" q role)
@@ -443,7 +494,7 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Show a policy's annotation plan: rewrite trace, SQL and XQuery lowerings, timings.")
     Term.(const explain $ policy_path $ dtd_name $ doc_path $ raw $ requests
-          $ subjects)
+          $ subjects $ lane_arg)
 
 (* --- recover ------------------------------------------------------ *)
 

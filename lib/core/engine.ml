@@ -105,7 +105,13 @@ type t = {
    epoch — so a reader can never pin partial state. *)
 let publish_snapshot t =
   let snap =
+    (* The annotation flags describe the native tree being frozen —
+       that is what snapshot requests read — so [Snapshot.request]'s
+       auto lane can route a never-annotated frozen document through
+       the rewrite lane instead of its default-sign CAM. *)
     Snapshot.capture ~epoch:t.sign_epoch ~policy:t.policy ~cam:t.cam
+      ~annotated:(List.mem Native t.annotated || t.divergent)
+      ~bits_annotated:(List.mem Native t.bits_annotated || t.divergent)
       ~metrics:t.metrics t.doc
   in
   Snapshot.publish t.snapshots snap
@@ -479,7 +485,48 @@ let request_uncached_subject t kind (role, idx) expr =
     Requester.request_via ~sign:(role_sign t b idx) b expr
   end
 
-let request ?subject t kind query =
+(* --- lane selection ------------------------------------------------ *)
+
+(* Whether the materialized layer a request would read — signs for the
+   anonymous subject, role bitmaps for a named one — has a committed
+   annotation epoch on this store. *)
+let lane_annotated ?subject t kind =
+  match subject with
+  | None -> List.mem kind t.annotated
+  | Some _ -> List.mem kind t.bits_annotated
+
+let resolve_lane ?subject ?(lane = Rewrite.Auto) t kind =
+  match lane with
+  | Rewrite.Materialized -> (Rewrite.Materialized, "forced")
+  | Rewrite.Rewrite -> (Rewrite.Rewrite, "forced")
+  | Rewrite.Auto ->
+      if lane_annotated ?subject t kind then
+        (Rewrite.Materialized, "annotated store")
+      else if t.divergent then
+        (* [refresh] declared the signs mutated behind the engine's
+           back: the store {e is} materialized (the CAM was rebuilt
+           from whatever is there), the engine just cannot vouch for a
+           committed annotation epoch — serve what the operator
+           installed, not the policy recompilation. *)
+        (Rewrite.Materialized, "diverged store")
+      else (Rewrite.Rewrite, "never-annotated store")
+
+(* The rewrite lane: compile the request against the policy (the
+   cached engine plan for the anonymous subject, the role's projection
+   otherwise) and evaluate the granted/residue pair through the
+   backend — zero sign or bitmap reads, so a cold store answers the
+   true policy decision. *)
+let request_rewritten t kind subj expr =
+  let b = backend t kind in
+  Metrics.time t.metrics "request.rewrite" (fun () ->
+      match subj with
+      | None ->
+          Requester.request_rewritten ~schema:t.sg ~plan:t.plan b t.policy expr
+      | Some (role, _) ->
+          Requester.request_rewritten ~schema:t.sg ~subject:role b t.policy
+            expr)
+
+let request ?subject ?lane t kind query =
   Metrics.time t.metrics "request" (fun () ->
       (* Resolve (and validate) the role before consulting the cache so
          an unknown role raises instead of poisoning a cache slot. *)
@@ -488,11 +535,20 @@ let request ?subject t kind query =
         | None -> None
         | Some role -> Some (role, role_index t role)
       in
+      let lane, _reason = resolve_lane ?subject ?lane t kind in
+      (* The effective lane is part of the cache key: the two lanes are
+         answer-equivalent only while the materialized layer is fresh,
+         and a forced-lane caller must not be served the other lane's
+         memo. *)
+      let lane_tag =
+        match lane with Rewrite.Rewrite -> "R\x00" | _ -> "M\x00"
+      in
       let key =
         match subject with
-        | None -> backend_kind_to_string kind ^ "\x00" ^ query
+        | None -> lane_tag ^ backend_kind_to_string kind ^ "\x00" ^ query
         | Some role ->
-            backend_kind_to_string kind ^ "\x00@" ^ role ^ "\x00" ^ query
+            lane_tag ^ backend_kind_to_string kind ^ "\x00@" ^ role ^ "\x00"
+            ^ query
       in
       let tally base =
         Metrics.incr t.metrics base;
@@ -509,9 +565,18 @@ let request ?subject t kind query =
           let expr = Requester.parse_or_fail query in
           let evictions_before = Decision_cache.evictions t.cache in
           let d =
-            match subj with
-            | None -> request_uncached t kind expr
-            | Some s -> request_uncached_subject t kind s expr
+            match lane with
+            | Rewrite.Rewrite ->
+                Metrics.incr t.metrics "lane.rewrite";
+                (match subject with
+                | Some role -> Metrics.incr t.metrics ("lane.rewrite." ^ role)
+                | None -> ());
+                request_rewritten t kind subj expr
+            | _ -> (
+                Metrics.incr t.metrics "lane.materialized";
+                match subj with
+                | None -> request_uncached t kind expr
+                | Some s -> request_uncached_subject t kind s expr)
           in
           Decision_cache.add t.cache ~epoch:t.epoch key d;
           (match subject with

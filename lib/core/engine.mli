@@ -112,13 +112,35 @@ val annotate_subjects : t -> backend_kind -> Annotator.subjects_stats
 
 val annotate_subjects_all : t -> (backend_kind * Annotator.subjects_stats) list
 
-val request : ?subject:string -> t -> backend_kind -> string -> Requester.decision
-(** All-or-nothing query answering against the materialized
-    annotations — the fast lane: served from the decision cache when
-    the query repeats within the current epoch, otherwise evaluated
-    through the backend with accessibility checked against the CAM.
-    (While the stores are known to have diverged — some but not all
-    annotated — relational requests read their own signs directly.)
+val request :
+  ?subject:string ->
+  ?lane:Rewrite.lane ->
+  t ->
+  backend_kind ->
+  string ->
+  Requester.decision
+(** All-or-nothing query answering.  Two enforcement lanes share the
+    entry point (and the decision cache, whose key carries the
+    effective lane):
+
+    {ul
+    {- {e materialized} — the paper's lane and the fast path: served
+       from the decision cache when the query repeats within the
+       current epoch, otherwise evaluated through the backend with
+       accessibility checked against the CAM.  (While the stores are
+       known to have diverged — some but not all annotated —
+       relational requests read their own signs directly.)}
+    {- {e rewrite} — the request is compiled against the policy
+       ({!Requester.request_rewritten}) and answered with zero sign or
+       bitmap reads, so a store with no committed annotation epoch
+       still answers the true policy decision.}}
+
+    [~lane] (default {!Rewrite.Auto}) selects: [Auto] picks the
+    materialized lane iff the layer the request would read — signs for
+    the anonymous subject, role bitmaps for a named one — has a
+    committed annotation epoch on this store ({!resolve_lane} reports
+    the choice and why).  Per-lane evaluations are tallied as
+    [lane.materialized] / [lane.rewrite] metrics.
 
     [~subject] answers for one role instead of the anonymous
     single-subject view: accessibility is checked against that role's
@@ -127,6 +149,16 @@ val request : ?subject:string -> t -> backend_kind -> string -> Requester.decisi
     are additionally tallied per role ([cache.hits.<role>], …).
     @raise Invalid_argument on a malformed query (naming the
     expression and error position) or an unknown role. *)
+
+val resolve_lane :
+  ?subject:string ->
+  ?lane:Rewrite.lane ->
+  t ->
+  backend_kind ->
+  Rewrite.lane * string
+(** The lane {!request} would answer through, with the reason
+    ("forced", "annotated store", "never-annotated store") — what
+    [xmlacctl explain] prints.  Never returns {!Rewrite.Auto}. *)
 
 val request_direct :
   ?subject:string -> t -> backend_kind -> string -> Requester.decision

@@ -27,6 +27,18 @@ let request_via ~sign (backend : Backend.t) expr =
 let request (backend : Backend.t) ~default expr =
   request_via ~sign:(Backend.effective_sign backend ~default) backend expr
 
+(* The rewrite lane: no sign or bitmap read — the backend evaluates the
+   compiled granted/residue plan pair and the residue count is the
+   blocked count.  Routing the granted ids back through [decide] keeps
+   the per-node deadline checkpoints, so a huge rewritten answer is
+   interruptible exactly like a materialized one. *)
+let request_rewritten ?schema ?plan ?subject (backend : Backend.t) policy expr =
+  Deadline.checkpoint ();
+  let compiled = Rewrite.compile ?schema ?plan ?subject policy expr in
+  let answer = Rewrite.eval backend compiled in
+  if answer.Rewrite.blocked > 0 then Denied { blocked = answer.Rewrite.blocked }
+  else decide ~ids:answer.Rewrite.granted_ids ~accessible:(fun _ -> true)
+
 let parse_or_fail s =
   match Xmlac_xpath.Parser.parse s with
   | Ok e -> e

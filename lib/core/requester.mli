@@ -33,6 +33,26 @@ val request :
     [default] is the policy's default semantics, needed to interpret
     unannotated nodes. *)
 
+val request_rewritten :
+  ?schema:Xmlac_xml.Schema_graph.t ->
+  ?plan:Plan.t ->
+  ?subject:string ->
+  Backend.t ->
+  Policy.t ->
+  Xmlac_xpath.Ast.expr ->
+  decision
+(** The {e rewrite} lane: the request is compiled against the policy
+    ({!Rewrite.compile} — [plan] short-circuits with a pre-rewritten
+    policy plan, [subject] selects one role's projection) and both
+    emitted plans are evaluated through the backend, so the decision
+    reads no sign or bitmap at all — never-annotated stores answer
+    correctly.  Blocked counts equal the materialized lane's exactly
+    (the residue plan's answer {e is} the set of selected inaccessible
+    nodes).  Crosses the [rewrite.compile] fault point before touching
+    the backend, and the same per-node deadline checkpoints as
+    {!request} on the granted answer.
+    @raise Invalid_argument on an unknown role. *)
+
 val request_string :
   Backend.t -> default:Rule.effect -> string -> decision
 (** Parses then requests.

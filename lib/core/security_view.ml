@@ -2,11 +2,15 @@ module Tree = Xmlac_xml.Tree
 
 type mode = Prune | Promote
 
-let materialize ?(mode = Promote) policy doc =
+let accessible_table ?subject policy doc =
   let accessible = Hashtbl.create 256 in
   List.iter
     (fun id -> Hashtbl.replace accessible id ())
-    (Policy.accessible_ids policy doc);
+    (Policy.accessible_ids ?subject policy doc);
+  accessible
+
+let materialize ?(mode = Promote) ?subject policy doc =
+  let accessible = accessible_table ?subject policy doc in
   let ok (n : Tree.node) = Hashtbl.mem accessible n.Tree.id in
   let root = Tree.root doc in
   let view = Tree.create ~root_name:root.Tree.name in
@@ -37,9 +41,23 @@ let materialize ?(mode = Promote) policy doc =
   | false, Promote -> List.iter (fun c -> place vroot c) root.Tree.children);
   view
 
-let visible_count ?mode policy doc =
-  let view = materialize ?mode policy doc in
-  let n = Tree.size view in
-  (* The placeholder root is not a represented source node when the
-     source root is inaccessible. *)
-  if Policy.node_accessible policy doc (Tree.root doc) then n else n - 1
+(* The source ids the view represents, computed without building the
+   view (the view's own nodes carry fresh ids): in [Promote] mode every
+   accessible node is kept; in [Prune] mode a node survives iff it and
+   all its ancestors are accessible, so the walk stops descending at
+   the first inaccessible node. *)
+let visible_ids ?(mode = Promote) ?subject policy doc =
+  let accessible = accessible_table ?subject policy doc in
+  let ok (n : Tree.node) = Hashtbl.mem accessible n.Tree.id in
+  match mode with
+  | Promote -> Hashtbl.fold (fun id () acc -> id :: acc) accessible []
+               |> List.sort compare
+  | Prune ->
+      let rec walk acc (n : Tree.node) =
+        if not (ok n) then acc
+        else List.fold_left walk (n.Tree.id :: acc) n.Tree.children
+      in
+      List.sort compare (walk [] (Tree.root doc))
+
+let visible_count ?mode ?subject policy doc =
+  List.length (visible_ids ?mode ?subject policy doc)

@@ -19,12 +19,28 @@
 
 type mode = Prune | Promote
 
-val materialize : ?mode:mode -> Policy.t -> Xmlac_xml.Tree.t -> Xmlac_xml.Tree.t
+val materialize :
+  ?mode:mode -> ?subject:string -> Policy.t -> Xmlac_xml.Tree.t ->
+  Xmlac_xml.Tree.t
 (** Default mode is [Promote].  The view's root element always exists
     (same name as the source root); when the source root itself is
     inaccessible the view root is a hollow placeholder carrying neither
-    value nor, in [`Prune] mode, any children. *)
+    value nor, in [`Prune] mode, any children.  [?subject] builds one
+    role's view ({!Policy.accessible_ids}'s subject parameter);
+    omitted, the anonymous single-subject view.
+    @raise Invalid_argument on an unknown role. *)
 
-val visible_count : ?mode:mode -> Policy.t -> Xmlac_xml.Tree.t -> int
-(** Number of source nodes represented in the view, not counting a
-    placeholder root. *)
+val visible_ids :
+  ?mode:mode -> ?subject:string -> Policy.t -> Xmlac_xml.Tree.t -> int list
+(** The {e source} ids represented in the view, ascending (the view's
+    own nodes carry fresh ids).  In [Promote] mode this is exactly
+    {!Policy.accessible_ids}; in [Prune] mode, the accessible nodes
+    all of whose ancestors are accessible too.  The visibility oracle
+    the cross-lane equivalence property checks both enforcement lanes
+    against. *)
+
+val visible_count :
+  ?mode:mode -> ?subject:string -> Policy.t -> Xmlac_xml.Tree.t -> int
+(** Number of source nodes represented in the view
+    ([List.length (visible_ids …)]), not counting a placeholder
+    root. *)

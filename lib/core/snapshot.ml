@@ -6,6 +6,8 @@ type t = {
   epoch : int;
   doc : Tree.t;  (* frozen private copy, signs and bitmaps included *)
   cam : Cam.t;  (* frozen single-subject map *)
+  annotated : bool;  (* signs had a committed annotation epoch at capture *)
+  bits_annotated : bool;  (* ... and likewise the role bitmaps *)
   policy : Policy.t;
   role_cams : (string, Cam.t) Hashtbl.t;
       (* Per-role maps over the frozen bitmaps, built lazily on the
@@ -32,12 +34,15 @@ let with_lock lock f =
       Mutex.unlock lock;
       raise e
 
-let capture ~epoch ~policy ~cam ~metrics doc =
+let capture ?(annotated = true) ?(bits_annotated = true) ~epoch ~policy ~cam
+    ~metrics doc =
   Metrics.incr metrics "snapshot.captures";
   {
     epoch;
     doc = Tree.copy doc;
     cam = Cam.freeze cam;
+    annotated;
+    bits_annotated;
     policy;
     role_cams = Hashtbl.create 4;
     cache = Decision_cache.create ();
@@ -49,7 +54,20 @@ let capture ~epoch ~policy ~cam ~metrics doc =
 let epoch t = t.epoch
 let document t = t.doc
 let cam t = t.cam
+let annotated t = t.annotated
+let bits_annotated t = t.bits_annotated
 let pins t = t.pins
+
+let resolve_lane ?subject ?(lane = Rewrite.Auto) t =
+  match lane with
+  | Rewrite.Materialized -> (Rewrite.Materialized, "forced")
+  | Rewrite.Rewrite -> (Rewrite.Rewrite, "forced")
+  | Rewrite.Auto ->
+      let ann =
+        match subject with None -> t.annotated | Some _ -> t.bits_annotated
+      in
+      if ann then (Rewrite.Materialized, "annotated at capture")
+      else (Rewrite.Rewrite, "never annotated at capture")
 
 (* One role's view of the frozen bitmaps.  Built under the lock: a
    duplicate build racing outside it would be harmless but wasted, and
@@ -72,12 +90,45 @@ let role_cam t role =
       Metrics.incr t.metrics "snapshot.role_cam_builds";
       c
 
-let request ?subject t query =
+(* The materialized lane over the frozen state: evaluate on the frozen
+   tree, check accessibility against the frozen (per-role) CAM. *)
+let materialized_decision ?subject t expr =
+  let cam =
+    match subject with
+    | None -> t.cam
+    | Some role -> with_lock t.lock (fun () -> role_cam t role)
+  in
+  let ids =
+    Xmlac_xpath.Eval.eval t.doc expr
+    |> List.map (fun n -> n.Tree.id)
+    |> List.sort_uniq compare
+  in
+  Requester.decide ~ids ~accessible:(fun id ->
+      match Tree.find t.doc id with
+      | Some n -> Cam.lookup cam n = Tree.Plus
+      | None -> false)
+
+(* The rewrite lane over the frozen state: compile the request against
+   the frozen policy and evaluate the granted/residue pair on the
+   frozen tree — no CAM, no sign, no bitmap, so a never-annotated
+   frozen document still answers the true policy decision. *)
+let rewritten_decision ?subject t expr =
+  let compiled = Rewrite.compile ?subject t.policy expr in
+  let answer = Rewrite.eval_tree t.doc compiled in
+  if answer.Rewrite.blocked > 0 then
+    Requester.Denied { blocked = answer.Rewrite.blocked }
+  else
+    Requester.decide ~ids:answer.Rewrite.granted_ids
+      ~accessible:(fun _ -> true)
+
+let request ?subject ?lane t query =
   Metrics.incr t.metrics "snapshot.reads";
+  let lane, _reason = resolve_lane ?subject ?lane t in
+  let lane_tag = match lane with Rewrite.Rewrite -> "R" | _ -> "M" in
   let key =
     match subject with
-    | None -> "\x00" ^ query
-    | Some role -> "@" ^ role ^ "\x00" ^ query
+    | None -> lane_tag ^ "\x00" ^ query
+    | Some role -> lane_tag ^ "@" ^ role ^ "\x00" ^ query
   in
   match
     with_lock t.lock (fun () ->
@@ -93,21 +144,10 @@ let request ?subject t query =
          transient faults into the pinned read path (retry tests, the
          chaos soak) without touching the live stores. *)
       Fault.point "snapshot.read";
-      let cam =
-        match subject with
-        | None -> t.cam
-        | Some role -> with_lock t.lock (fun () -> role_cam t role)
-      in
-      let ids =
-        Xmlac_xpath.Eval.eval t.doc expr
-        |> List.map (fun n -> n.Tree.id)
-        |> List.sort_uniq compare
-      in
       let d =
-        Requester.decide ~ids ~accessible:(fun id ->
-            match Tree.find t.doc id with
-            | Some n -> Cam.lookup cam n = Tree.Plus
-            | None -> false)
+        match lane with
+        | Rewrite.Rewrite -> rewritten_decision ?subject t expr
+        | _ -> materialized_decision ?subject t expr
       in
       with_lock t.lock (fun () ->
           Decision_cache.add t.cache ~epoch:t.epoch key d);

@@ -40,6 +40,8 @@ type t
 (** One immutable snapshot of a committed epoch. *)
 
 val capture :
+  ?annotated:bool ->
+  ?bits_annotated:bool ->
   epoch:int ->
   policy:Policy.t ->
   cam:Cam.t ->
@@ -50,9 +52,13 @@ val capture :
     materialization: a private [Tree.copy] of [doc] (signs and
     bitmaps included) and a {!Cam.freeze} of [cam] (valid for the copy
     because entries are keyed by node id).  O(nodes + CAM entries).
-    [metrics] receives the snapshot's lifetime counters
-    ([snapshot.captures], [snapshot.reads], [snapshot.cache.*],
-    [snapshot.role_cam_builds]). *)
+    [annotated] / [bits_annotated] (both default [true]) record
+    whether the frozen signs / role bitmaps carried a committed
+    annotation epoch at capture — {!request}'s auto lane routes a
+    never-annotated frozen document through the rewrite lane instead
+    of its default-sign CAM.  [metrics] receives the snapshot's
+    lifetime counters ([snapshot.captures], [snapshot.reads],
+    [snapshot.cache.*], [snapshot.role_cam_builds]). *)
 
 val epoch : t -> int
 (** The committed [sign_epoch] this snapshot captures. *)
@@ -63,20 +69,43 @@ val document : t -> Xmlac_xml.Tree.t
 val cam : t -> Cam.t
 (** The frozen single-subject accessibility map. *)
 
+val annotated : t -> bool
+(** Whether the frozen signs carried a committed annotation epoch at
+    capture. *)
+
+val bits_annotated : t -> bool
+(** Likewise for the frozen role bitmaps. *)
+
 val pins : t -> int
 (** Current pin count (readers holding this snapshot). *)
 
-val request : ?subject:string -> t -> string -> Requester.decision
+val resolve_lane :
+  ?subject:string -> ?lane:Rewrite.lane -> t -> Rewrite.lane * string
+(** The lane {!request} would answer through, with the reason
+    ("forced", "annotated at capture", "never annotated at capture").
+    Never returns {!Rewrite.Auto}. *)
+
+val request :
+  ?subject:string -> ?lane:Rewrite.lane -> t -> string -> Requester.decision
 (** [request ?subject t query] answers the all-or-nothing request
     from the snapshot alone: evaluate [query] on the frozen document,
     check accessibility against the frozen CAM ([?subject]: a lazily
     built per-role map over the frozen bitmaps), and memoize the
-    decision in the snapshot's private cache.  Full fidelity at the
-    snapshot's epoch — byte-identical to what the live engine decided
-    when this epoch was current — and never touches the live stores,
-    so it cannot block on (or be blocked by) the writer.  Crosses
+    decision in the snapshot's private cache (keyed by the effective
+    lane).  Full fidelity at the snapshot's epoch — byte-identical to
+    what the live engine decided when this epoch was current — and
+    never touches the live stores, so it cannot block on (or be
+    blocked by) the writer.  Crosses
     {!Xmlac_util.Deadline.checkpoint}s through [Cam.lookup], so it
     honours a caller-installed budget.
+
+    [~lane] (default {!Rewrite.Auto}) selects the enforcement lane as
+    in {!Engine.request}: [Auto] picks the materialized lane iff the
+    layer the request reads was annotated at capture
+    ({!resolve_lane}); the rewrite lane compiles the request against
+    the frozen policy and evaluates it on the frozen tree with no
+    sign or bitmap read — how cold documents are served from pinned
+    sessions.
     @raise Invalid_argument on an unparsable query or unknown role. *)
 
 (** {1 Registry: publish / pin / reclaim}

@@ -194,7 +194,7 @@ let backoff t n =
    mutations never commit while degraded; if the epochs disagree
    anyway the snapshot is stale and everything is denied — per role as
    much as for the anonymous subject. *)
-let degraded_decision ?subject t query =
+let degraded_decision ?subject ?lane t query =
   let m = metrics t in
   Metrics.incr m "serve.degraded";
   (match subject with
@@ -206,7 +206,7 @@ let degraded_decision ?subject t query =
     Metrics.incr m Metrics.stale_snapshot_denials;
     Requester.Denied { blocked = 0 }
   end
-  else Snapshot.request ?subject snap query
+  else Snapshot.request ?subject ?lane snap query
 
 (* Answer from an arbitrary pinned snapshot under the configured
    deadline, with transient retries — the session read path.  Never
@@ -214,7 +214,7 @@ let degraded_decision ?subject t query =
    cannot block on the writer, and its outcome says nothing about
    backend health.  [~served] distinguishes the session path (Pinned)
    from degradation ([degraded_request] below reuses this loop). *)
-let snapshot_request_as ~served ?subject t snap query =
+let snapshot_request_as ~served ?subject ?lane t snap query =
   let m = metrics t in
   let attempts = ref 0 in
   match
@@ -225,8 +225,8 @@ let snapshot_request_as ~served ?subject t snap query =
           attempts := n;
           try
             match served with
-            | Degraded -> degraded_decision ?subject t query
-            | _ -> Snapshot.request ?subject snap query
+            | Degraded -> degraded_decision ?subject ?lane t query
+            | _ -> Snapshot.request ?subject ?lane snap query
           with Fault.Transient _ when n <= t.config.max_retries ->
             Metrics.incr m "serve.retries";
             backoff t n;
@@ -241,14 +241,14 @@ let snapshot_request_as ~served ?subject t snap query =
       Metrics.incr m ("serve.errors." ^ error_class_to_string err.class_);
       Error err
 
-let snapshot_request ?subject t snap query =
+let snapshot_request ?subject ?lane t snap query =
   Metrics.incr (metrics t) "serve.pinned";
-  snapshot_request_as ~served:Pinned ?subject t snap query
+  snapshot_request_as ~served:Pinned ?subject ?lane t snap query
 
-let degraded_request ?subject t query =
-  snapshot_request_as ~served:Degraded ?subject t t.snapshot query
+let degraded_request ?subject ?lane t query =
+  snapshot_request_as ~served:Degraded ?subject ?lane t t.snapshot query
 
-let live_request ?subject t kind br query =
+let live_request ?subject ?lane t kind br query =
   let m = metrics t in
   let attempts = ref 0 in
   match
@@ -258,7 +258,7 @@ let live_request ?subject t kind br query =
       (fun () ->
         let rec go n =
           attempts := n;
-          try Engine.request ?subject t.eng kind query
+          try Engine.request ?subject ?lane t.eng kind query
           with Fault.Transient _ when n <= t.config.max_retries ->
             Metrics.incr m "serve.retries";
             backoff t n;
@@ -270,15 +270,19 @@ let live_request ?subject t kind br query =
       Breaker.record br ~ok:true;
       Ok { decision; served = Live; attempts = !attempts }
   | exception exn ->
-      Breaker.record br ~ok:false;
       let err = typed_error ~attempts:!attempts exn in
+      (* A failure while compiling the rewrite lane's plans happens
+         before the store is touched, so — like a parse error — it
+         says nothing about backend health and must not feed the
+         breaker. *)
+      if err.site <> "rewrite.compile" then Breaker.record br ~ok:false;
       Metrics.incr m "serve.errors";
       Metrics.incr m ("serve.errors." ^ error_class_to_string err.class_);
       Error err
 
 let known_role t role = Subject.mem (Policy.subjects (Engine.policy t.eng)) role
 
-let request ?subject t kind query =
+let request ?subject ?lane t kind query =
   Metrics.time (metrics t) "serve.request" (fun () ->
       match Requester.parse_or_fail query with
       | exception Invalid_argument msg ->
@@ -304,8 +308,8 @@ let request ?subject t kind query =
               heal t;
               let br = breaker t kind in
               match Breaker.admit br with
-              | `Reject -> degraded_request ?subject t query
-              | `Admit -> live_request ?subject t kind br query)))
+              | `Reject -> degraded_request ?subject ?lane t query
+              | `Admit -> live_request ?subject ?lane t kind br query)))
 
 (* ---------- mutations ---------- *)
 

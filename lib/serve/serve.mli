@@ -114,7 +114,12 @@ type reply = {
 }
 
 val request :
-  ?subject:string -> t -> Engine.backend_kind -> string -> (reply, error) result
+  ?subject:string ->
+  ?lane:Xmlac_core.Rewrite.lane ->
+  t ->
+  Engine.backend_kind ->
+  string ->
+  (reply, error) result
 (** The resilient request path.  Parse errors — and unknown
     [~subject] roles — return a [Fatal] error without consulting the
     breaker (they say nothing about backend health).  A
@@ -126,6 +131,14 @@ val request :
     committed epoch, and a blanket denial when it does not —
     degradation never grants what the live path would deny.
 
+    [~lane] (default [Auto]) selects the enforcement lane, live
+    ({!Engine.request}) and degraded ({!Xmlac_core.Snapshot.request})
+    alike: the auto lane answers a store with no committed annotation
+    epoch through the query-rewrite lane, with zero sign or bitmap
+    reads.  A failure at the [rewrite.compile] fault point happens
+    before the store is touched, so — like a parse error — it never
+    feeds the breaker.
+
     [~subject] answers for one role: live calls go through
     {!Engine.request}'s subject path, degraded calls through a
     lazily built per-role CAM over the snapshot's bitmaps — the
@@ -135,6 +148,7 @@ val request :
 
 val snapshot_request :
   ?subject:string ->
+  ?lane:Xmlac_core.Rewrite.lane ->
   t ->
   Xmlac_core.Snapshot.t ->
   string ->
@@ -146,7 +160,10 @@ val snapshot_request :
     snapshot's epoch, zero blocking on the writer, and no staleness
     check — an old pinned snapshot {e is} the version the session
     asked to read.  Parse errors and unknown roles surface as [Fatal]
-    errors like {!request}'s. *)
+    errors like {!request}'s.  [~lane] selects the enforcement lane as
+    in {!request}; the auto lane serves a snapshot captured before any
+    annotation epoch through the query-rewrite lane on the frozen
+    tree. *)
 
 (** {1 Mutations} *)
 

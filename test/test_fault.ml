@@ -12,6 +12,7 @@ module Prng = Xmlac_util.Prng
 module Metrics = Xmlac_util.Metrics
 module Pp = Xmlac_xpath.Pp
 module W = Xmlac_workload
+module Serve = Xmlac_serve.Serve
 
 (* ------------------------------------------------------------------ *)
 (* The fault-point registry. *)
@@ -294,6 +295,7 @@ let test_fault_point_coverage () =
   ignore
     (Engine.insert eng ~at:"//patient[psn = \"099\"]"
        ~fragment:(treatment_fragment ()));
+  ignore (Engine.request ~lane:Rewrite.Rewrite eng Engine.Native "//patient");
   let reg = Fault.registered () in
   List.iter
     (fun p ->
@@ -303,7 +305,51 @@ let test_fault_point_coverage () =
       "native.set_sign"; "row.set_sign"; "column.set_sign";
       "native.delete"; "row.delete"; "column.delete";
       "native.insert"; "row.insert"; "column.insert"; "cam.repair";
+      "rewrite.compile";
     ];
+  Fault.reset ()
+
+(* A killed rewrite-lane request dies before the store is touched: no
+   epoch moves, no WAL record lands, no sign changes, and — because a
+   compile failure says nothing about backend health — the breaker
+   never hears about it.  The layer's next call self-heals and serves
+   the same request live. *)
+let test_rewrite_compile_kill_isolated () =
+  Fault.reset ();
+  let eng = (hospital_fixture ()) () in
+  (* Never annotated: the auto lane routes every request to rewrite. *)
+  let layer = Serve.create eng in
+  let observe () =
+    ( Engine.sign_epoch eng,
+      Engine.epoch eng,
+      Engine.open_epoch eng,
+      accessible_sets eng,
+      List.map
+        (fun k -> (k, Option.map Wal.records (Engine.wal eng k)))
+        Engine.all_backend_kinds )
+  in
+  let before = observe () in
+  Fault.arm "rewrite.compile" (Fault.After 1);
+  (match Serve.request layer Engine.Native "//patient/name" with
+  | Ok _ -> Alcotest.fail "armed rewrite.compile did not fire"
+  | Error e ->
+      Alcotest.(check string) "dies at the compile site" "rewrite.compile"
+        e.Serve.site;
+      Alcotest.(check bool) "classified fatal" true
+        (e.Serve.class_ = Serve.Fatal));
+  let h = Serve.health layer in
+  Alcotest.(check int) "breaker never fed: no trips" 0 h.Serve.trips;
+  Alcotest.(check bool) "layer still healthy" false h.Serve.degraded;
+  (* The next call heals the poisoned registry and answers live,
+     through the rewrite lane, over an untouched store. *)
+  (match Serve.request layer Engine.Native "//patient/name" with
+  | Ok r ->
+      Alcotest.(check bool) "served live after heal" true
+        (r.Serve.served = Serve.Live)
+  | Error e ->
+      Alcotest.failf "healed request failed: %s" e.Serve.message);
+  Alcotest.(check bool) "stores, epochs and WALs untouched" true
+    (observe () = before);
   Fault.reset ()
 
 (* While an epoch is open (crashed, unrecovered), every mutating entry
@@ -500,6 +546,7 @@ let () =
           tc "insert epoch" test_crash_sweep_insert;
           tc "multi-role epoch" test_crash_sweep_annotate_subjects;
           tc "fault point coverage" test_fault_point_coverage;
+          tc "rewrite compile kill isolated" test_rewrite_compile_kill_isolated;
           tc "open epoch guards mutations" test_open_epoch_guard;
           tc "recover is idempotent" test_recover_idempotent;
         ] );

@@ -312,7 +312,9 @@ let test_engine_insert_maintains_cam () =
 let test_engine_divergent_backend_bypasses () =
   (* Annotate only the native store: relational signs still carry the
      load-time default, so the fast lane must not borrow the native
-     CAM for them. *)
+     CAM for them.  The materialized lane is forced — the auto lane
+     would (correctly) route the never-annotated relational stores to
+     the rewrite lane, but this test pins the CAM-borrowing guard. *)
   let eng =
     Engine.create ~dtd:W.Hospital.dtd ~policy:W.Hospital.policy
       (W.Hospital.sample_document ())
@@ -323,7 +325,7 @@ let test_engine_divergent_backend_bypasses () =
   List.iter
     (fun q ->
       Alcotest.(check bool) ("row matches direct: " ^ q) true
-        (Engine.request eng Engine.Row_sql q
+        (Engine.request ~lane:Rewrite.Materialized eng Engine.Row_sql q
         = Engine.request_direct eng Engine.Row_sql q))
     sample_queries;
   Alcotest.(check bool) "bypass counted" true

@@ -47,6 +47,11 @@ show query annotated.xml auction.policy "//person/name"
 show query annotated.xml auction.policy --subject visitor "//open_auction"
 show query annotated.xml auction.policy --subject auditor "//open_auction"
 show query annotated.xml auction.policy "//person"
+# The rewrite lane: the same requests answered on the never-annotated
+# site.xml — the auto lane notices the missing signs and rewrites, and
+# forcing --lane rewrite skips sign reads even where signs exist.
+show query site.xml auction.policy "//person/name"
+show query site.xml auction.policy --lane rewrite --subject auditor "//open_auction"
 show update annotated.xml auction.policy --dtd xmark "//person/creditcard" -o updated.xml
 show query updated.xml auction.policy "//person"
 show explain auction.policy --dtd xmark --doc site.xml \
