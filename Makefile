@@ -55,6 +55,13 @@ bench-concurrent:
 bench-rewrite:
 	dune exec bench/main.exe -- -e rewrite
 
+# Snapshot publication: full-copy vs COW publish p50/p99 across a
+# document ladder, plus 1000 pinned epochs of retained history.
+# Exits non-zero if COW publish is not sublinear in document size or
+# pinned history is not bounded.
+bench-snapshot:
+	dune exec bench/main.exe -- -e snapshot
+
 doc:
 	dune build @doc
 
@@ -64,4 +71,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent bench-rewrite doc quickstart clean
+.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent bench-rewrite bench-snapshot doc quickstart clean

@@ -24,6 +24,7 @@ type experiment =
   | Recovery
   | Resilience
   | Concurrent
+  | Snapshot
   | Micro
   | All
 
@@ -42,6 +43,7 @@ let experiment_of_string = function
   | "recovery" -> Ok Recovery
   | "resilience" -> Ok Resilience
   | "concurrent" -> Ok Concurrent
+  | "snapshot" -> Ok Snapshot
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -66,6 +68,7 @@ let experiment_conv =
           | Recovery -> "recovery"
           | Resilience -> "resilience"
           | Concurrent -> "concurrent"
+          | Snapshot -> "snapshot"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -84,6 +87,7 @@ let run_one cfg = function
   | Recovery -> Exp_recovery.run cfg
   | Resilience -> Exp_resilience.run cfg
   | Concurrent -> Exp_concurrent.run cfg
+  | Snapshot -> Exp_snapshot.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -100,6 +104,7 @@ let run_one cfg = function
       Exp_recovery.run cfg;
       Exp_resilience.run cfg;
       Exp_concurrent.run cfg;
+      Exp_snapshot.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =

@@ -94,15 +94,40 @@ let annotate_subjects ?schema ?(rewrite = true) (backend : Backend.t) policy =
   let plans = compile_subjects ?schema ~rewrite policy in
   let groups = share ?schema plans in
   let answers = backend.Backend.eval_plans (List.map fst groups) in
-  let stamped =
-    List.fold_left2
-      (fun acc (_, members) ids ->
-        List.fold_left
-          (fun acc (role, value) ->
-            acc + backend.Backend.set_bits_ids ids ~role ~value ~default)
-          acc members)
-      0 groups answers
+  (* Gather every (role, value) edit per node before touching the
+     store, so each touched node's bitmap is read, updated and
+     serialized once for the whole epoch — not once per role.  Nodes
+     keep first-touch order (group order, ascending ids within), and a
+     node's edits keep role order, so the write sequence is a
+     reordering of the old per-role loops over commuting single-bit
+     edits. *)
+  let per_node : (int, (int * bool) list ref) Hashtbl.t =
+    Hashtbl.create 256
   in
+  let order = ref [] (* first-touch order, reversed *) in
+  List.iter2
+    (fun (_, members) ids ->
+      List.iter
+        (fun id ->
+          let edits =
+            match Hashtbl.find_opt per_node id with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace per_node id r;
+                order := id :: !order;
+                r
+          in
+          List.iter (fun (role, value) -> edits := (role, value) :: !edits)
+            members)
+        ids)
+    groups answers;
+  let batch =
+    List.rev_map
+      (fun id -> (id, List.rev !(Hashtbl.find per_node id)))
+      !order
+  in
+  let stamped = backend.Backend.set_bits_batch batch ~default in
   let roles = List.length plans in
   {
     roles;

@@ -12,6 +12,7 @@ type t = {
   sign_of : int -> Tree.sign option;
   restore_sign : int -> Tree.sign option -> unit;
   set_bits_ids : int list -> role:int -> value:bool -> default:Bitset.t -> int;
+  set_bits_batch : (int * (int * bool) list) list -> default:Bitset.t -> int;
   reset_bits : default:Bitset.t -> unit;
   bits_of : int -> Bitset.t option;
   restore_bits : int -> Bitset.t option -> unit;
@@ -75,6 +76,16 @@ let with_faults ~prefix b =
             pt "set_bits";
             acc + b.set_bits_ids [ id ] ~role ~value ~default)
           0 ids);
+    set_bits_batch =
+      (fun edits ~default ->
+        (* One crossing per node, not per (node, role): the batch's
+           whole point is one serialization per touched node, and the
+           fault granularity follows the write granularity. *)
+        List.fold_left
+          (fun acc edit ->
+            pt "set_bits";
+            acc + b.set_bits_batch [ edit ] ~default)
+          0 edits);
     reset_bits =
       (fun ~default ->
         pt "reset_bits";
@@ -141,6 +152,15 @@ let journaled j b =
             record_bits id;
             acc + b.set_bits_ids [ id ] ~role ~value ~default)
           0 ids);
+    set_bits_batch =
+      (fun edits ~default ->
+        (* One pre-image per touched node covers every role edit the
+           batch applies to it. *)
+        List.fold_left
+          (fun acc ((id, _) as edit) ->
+            record_bits id;
+            acc + b.set_bits_batch [ edit ] ~default)
+          0 edits);
     reset_bits =
       (fun ~default ->
         if j.active then List.iter record_bits (b.live_ids ());

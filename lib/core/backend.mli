@@ -65,6 +65,17 @@ type t = {
           [default] (the policy's {!Policy.default_bits}) — the native
           store materializes the bitmap on first touch, the relational
           store always has an explicit [b] column. *)
+  set_bits_batch :
+    (int * (int * bool) list) list -> default:Xmlac_util.Bitset.t -> int;
+      (** [set_bits_batch [(id, [(role, value); ...]); ...] ~default]
+          applies every role-bit edit of a node in one write: the
+          node's bitmap is read (or started from [default]) once, all
+          its role bits flipped, and the result stored — one
+          serialization per touched node instead of one per (node,
+          role), which is what makes thousands of roles affordable on
+          the relational stores.  Ids no longer present are skipped.
+          Returns the number of (node, role) edits applied — the same
+          count a [set_bits_ids] loop would report. *)
   reset_bits : default:Xmlac_util.Bitset.t -> unit;
       (** Returns every node's bitmap to the unannotated/default state:
           natively erases them all (compact representation),
@@ -104,7 +115,9 @@ val accessible_ids_role : t -> default:Xmlac_util.Bitset.t -> role:int -> int li
 val with_faults : prefix:string -> t -> t
 (** Threads the mutating operations through fault points named
     [<prefix>.set_sign] and [<prefix>.set_bits] (hit once {e per node}
-    stamped, so counted triggers land mid-write),
+    stamped — [set_bits_batch] included, whose crossing granularity
+    follows its per-node write granularity — so counted triggers land
+    mid-write),
     [<prefix>.reset_signs], [<prefix>.reset_bits] and
     [<prefix>.delete]; [eval_ids] crosses [<prefix>.eval] once per
     query — as does each plan of an [eval_plans] batch — the read-path

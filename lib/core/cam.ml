@@ -1,4 +1,5 @@
 module Tree = Xmlac_xml.Tree
+module Imap = Map.Make (Int)
 
 type t = {
   default : Tree.sign;
@@ -6,7 +7,7 @@ type t = {
       (** The annotation this map indexes — the node's sign slot for the
           classic single-subject map, one role's bitmap slice for a
           per-role map. *)
-  map : (int, Tree.sign) Hashtbl.t;  (** Sign-change points only. *)
+  mutable map : Tree.sign Imap.t;  (** Sign-change points only. *)
   mutable node_count : int;
 }
 
@@ -17,27 +18,28 @@ let effective t (n : Tree.node) =
    an entry exists exactly where the effective sign flips. *)
 let refresh_entry t inherited (n : Tree.node) =
   let eff = effective t n in
-  if eff <> inherited then Hashtbl.replace t.map n.Tree.id eff
-  else Hashtbl.remove t.map n.Tree.id
+  if eff <> inherited then t.map <- Imap.add n.Tree.id eff t.map
+  else t.map <- Imap.remove n.Tree.id t.map
 
-let parent_effective t (n : Tree.node) =
-  match Tree.parent n with
+(* Resolved through the document index: a COW node's raw [parent]
+   pointer can reference a displaced record whose annotation slots are
+   stale, and [effective] reads those slots. *)
+let parent_effective t doc (n : Tree.node) =
+  match Tree.parent_live doc n with
   | Some p -> effective t p
   | None -> t.default
 
 let sign_slot (n : Tree.node) = n.Tree.sign
 
 let build_with doc ~default ~read =
-  let t =
-    { default; read; map = Hashtbl.create 64; node_count = Tree.size doc }
-  in
+  let t = { default; read; map = Imap.empty; node_count = Tree.size doc } in
   (* Preorder walk carrying the parent's effective sign: record an
      entry exactly where the effective sign flips.  Effective follows
      the store's model — the node's explicit annotation, or the
      default. *)
   let rec go inherited (n : Tree.node) =
     let eff = effective t n in
-    if eff <> inherited then Hashtbl.replace t.map n.Tree.id eff;
+    if eff <> inherited then t.map <- Imap.add n.Tree.id eff t.map;
     List.iter (go eff) n.Tree.children
   in
   go default (Tree.root doc);
@@ -58,15 +60,18 @@ let build_role doc ~role ~default =
 (* Entries are keyed by node id and [lookup] walks the parent chain of
    the node it is handed — so a frozen copy answers for any tree whose
    ids and parent chains match the one it was built from, in
-   particular the [Tree.copy] a snapshot captures. *)
+   particular the COW view a snapshot captures.  The entry map is a
+   persistent [Map], so freezing shares it by reference in O(1);
+   maintenance on either side rebinds its own [map] field and never
+   disturbs the other. *)
 let freeze t =
-  { default = t.default; read = t.read; map = Hashtbl.copy t.map;
+  { default = t.default; read = t.read; map = t.map;
     node_count = t.node_count }
 
 let lookup t (n : Tree.node) =
   Xmlac_util.Deadline.checkpoint ();
   let rec up (m : Tree.node) =
-    match Hashtbl.find_opt t.map m.Tree.id with
+    match Imap.find_opt m.Tree.id t.map with
     | Some s -> s
     | None -> (
         match Tree.parent m with Some p -> up p | None -> t.default)
@@ -74,7 +79,7 @@ let lookup t (n : Tree.node) =
   up n
 
 let default t = t.default
-let entries t = Hashtbl.length t.map
+let entries t = Imap.cardinal t.map
 let node_count t = t.node_count
 
 let compression_ratio t =
@@ -83,13 +88,16 @@ let compression_ratio t =
 
 (* A sign write at [n] changes eff(n) only, and an entry at [m] depends
    only on eff(m) vs eff(parent m) — so the write moves change points
-   at [n] and at [n]'s children, nowhere else. *)
+   at [n] and at [n]'s children, nowhere else.  Children of a current
+   record are current records, so their inherited sign is eff(n)
+   directly; only the entry node's own parent needs index
+   resolution. *)
 let apply_changes t doc ~changed =
   let touched = Hashtbl.create 16 in
-  let refresh (n : Tree.node) =
+  let refresh inherited (n : Tree.node) =
     if not (Hashtbl.mem touched n.Tree.id) then begin
       Hashtbl.replace touched n.Tree.id ();
-      refresh_entry t (parent_effective t n) n
+      refresh_entry t inherited n
     end
   in
   List.iter
@@ -97,8 +105,8 @@ let apply_changes t doc ~changed =
       match Tree.find doc id with
       | None -> ()  (* written then deleted; purge handles its entry *)
       | Some n ->
-          refresh n;
-          List.iter refresh n.Tree.children)
+          refresh (parent_effective t doc n) n;
+          List.iter (refresh (effective t n)) n.Tree.children)
     changed;
   t.node_count <- Tree.size doc;
   Hashtbl.length touched
@@ -113,27 +121,23 @@ let rebuild_subtree t doc ~root =
         refresh_entry t inherited n;
         List.iter (go (effective t n)) n.Tree.children
       in
-      go (parent_effective t r) r;
+      go (parent_effective t doc r) r;
       t.node_count <- Tree.size doc;
       !count
 
 let purge t doc =
   let dead =
-    Hashtbl.fold
+    Imap.fold
       (fun id _ acc ->
         match Tree.find doc id with None -> id :: acc | Some _ -> acc)
       t.map []
   in
-  List.iter (Hashtbl.remove t.map) dead;
+  List.iter (fun id -> t.map <- Imap.remove id t.map) dead;
   t.node_count <- Tree.size doc;
   List.length dead
 
 let equal a b =
-  a.default = b.default
-  && Hashtbl.length a.map = Hashtbl.length b.map
-  && Hashtbl.fold
-       (fun id s acc -> acc && Hashtbl.find_opt b.map id = Some s)
-       a.map true
+  a.default = b.default && Imap.equal (fun (x : Tree.sign) y -> x = y) a.map b.map
 
 let pp ppf t =
   Format.fprintf ppf "cam: %d entr%s over %d nodes (ratio %.3f, default %s)"

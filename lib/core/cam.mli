@@ -44,13 +44,12 @@ val build_role :
     semantics). *)
 
 val freeze : t -> t
-(** An O(entries) private copy, cheaper than a fresh {!build}
-    (O(nodes)).  Entries are keyed by node id and {!lookup} walks the
-    parent chain of the node it is handed, so the copy answers for any
-    tree with the same ids and parent chains — in particular the
-    [Tree.copy] an MVCC snapshot captures.  The copy shares nothing
-    mutable with the original: later incremental maintenance on either
-    side leaves the other untouched. *)
+(** An O(1) frozen copy: the entry map is persistent, so the copy
+    shares it by reference and later incremental maintenance on either
+    side leaves the other untouched.  Entries are keyed by node id and
+    {!lookup} walks the parent chain of the node it is handed, so the
+    copy answers for any tree with the same ids and parent chains — in
+    particular the COW view an MVCC snapshot captures. *)
 
 val lookup : t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign
 (** Effective sign of a node of the document the map was built from.

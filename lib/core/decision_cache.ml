@@ -72,6 +72,9 @@ let add t ~epoch key value =
   end;
   Hashtbl.replace t.table key { epoch; value }
 
+let iter f t =
+  Hashtbl.iter (fun key (e : 'a entry) -> f key ~epoch:e.epoch e.value) t.table
+
 let clear t =
   Hashtbl.reset t.table;
   Queue.clear t.order

@@ -52,6 +52,12 @@ val evictions : 'a t -> int
 val stale_drops : 'a t -> int
 (** Lifetime count of stale-epoch entries dropped on lookup. *)
 
+val iter : (string -> epoch:int -> 'a -> unit) -> 'a t -> unit
+(** Visits every live entry (unspecified order) with its stored epoch
+    — the snapshot layer's carry-forward walk, which re-adds entries
+    that survive an epoch's change set into the next snapshot's
+    cache. *)
+
 val clear : 'a t -> unit
 (** Drops every entry.  Not counted as eviction — clearing is the
     epoch-invalidation fast path, not capacity pressure. *)

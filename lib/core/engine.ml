@@ -108,8 +108,14 @@ let publish_snapshot t =
     (* The annotation flags describe the native tree being frozen —
        that is what snapshot requests read — so [Snapshot.request]'s
        auto lane can route a never-annotated frozen document through
-       the rewrite lane instead of its default-sign CAM. *)
-    Snapshot.capture ~epoch:t.sign_epoch ~policy:t.policy ~cam:t.cam
+       the rewrite lane instead of its default-sign CAM.  [prev] (the
+       outgoing snapshot) feeds carry-forward: the capture compares
+       the tree-level change set against it and migrates still-valid
+       memoized decisions and per-role maps instead of cold-starting;
+       the capture itself is an O(changed) [Tree.freeze], not a
+       copy. *)
+    Snapshot.capture ?prev:(Snapshot.current t.snapshots)
+      ~epoch:t.sign_epoch ~policy:t.policy ~cam:t.cam
       ~annotated:(List.mem Native t.annotated || t.divergent)
       ~bits_annotated:(List.mem Native t.bits_annotated || t.divergent)
       ~metrics:t.metrics t.doc
@@ -644,7 +650,13 @@ let insert t ~at ~fragment =
   let touched = insert_touched ~at_expr ~frag_root in
   let default_sign = Rule.effect_to_string (Policy.ds t.policy) in
   let default_bits = Policy.default_bits t.policy in
-  let o = begin_op t (Op_insert { at; fragment = Tree.copy fragment }) in
+  (* The op record takes ownership of [fragment] as-is: every use —
+     the graft below and a crash-recovery roll-forward — only reads it
+     ([Tree.graft] deep-copies into the target), so the old defensive
+     [Tree.copy] bought nothing but an O(fragment) stall per insert.
+     The aliasing contract (engine.mli): the caller must not mutate
+     the fragment after handing it over. *)
+  let o = begin_op t (Op_insert { at; fragment }) in
   let native_stats =
     let prepared =
       Reannotator.prepare ~schema:t.sg t.native t.depend ~touched

@@ -182,7 +182,13 @@ val insert :
     re-annotates each.  The trigger treats the insertion points —
     [at/<fragment-root>] — as the update expression.  Bumps the
     {!epoch}; the CAM entries of the changed nodes and of the grafted
-    subtrees are rebuilt incrementally. *)
+    subtrees are rebuilt incrementally.
+
+    Aliasing contract: the engine takes ownership of [fragment]
+    {e without copying it} — the grafts deep-copy out of it, and the
+    retained reference exists only so a crash-recovery roll-forward
+    can re-read it.  The caller must not mutate [fragment] after the
+    call (re-using it as the source of further inserts is fine). *)
 
 val consistent : t -> bool
 (** Whether all three stores currently materialize the same accessible

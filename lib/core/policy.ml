@@ -154,11 +154,11 @@ let node_accessible ?subject t doc n =
 
 let annotate_reference ?subject t doc =
   let set = accessible_id_set ?subject t doc in
-  Tree.iter
-    (fun n ->
-      Tree.set_sign n
+  List.iter
+    (fun (n : Tree.node) ->
+      Tree.set_sign doc n
         (Some (if Hashtbl.mem set n.Tree.id then Tree.Plus else Tree.Minus)))
-    doc
+    (Tree.nodes doc)
 
 (* Per-node role bitmaps by the specification: every role's Table 2,
    evaluated independently, gathered node-major.  The executable

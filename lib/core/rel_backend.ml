@@ -135,6 +135,34 @@ let make mapping db : Backend.t =
                 updated := !updated + write_bits db table id bits)
           ids;
         !updated);
+    set_bits_batch =
+      (fun edits ~default ->
+        (* The batched stamp: one row read and one serialized UPDATE
+           per touched node, however many roles the epoch flips on
+           it — [set_bits_ids] pays both per (node, role). *)
+        let applied = ref 0 in
+        List.iter
+          (fun (id, role_edits) ->
+            if role_edits <> [] then
+              match Shred.node_table mapping db id with
+              | None -> ()
+              | Some table ->
+                  let base =
+                    match read_bits table id with
+                    | Some b -> b
+                    | None -> default
+                  in
+                  let bits =
+                    List.fold_left
+                      (fun b (role, value) ->
+                        if value then Bitset.add role b
+                        else Bitset.remove role b)
+                      base role_edits
+                  in
+                  let rows = write_bits db table id bits in
+                  applied := !applied + (rows * List.length role_edits))
+          edits;
+        !applied);
     reset_bits =
       (fun ~default ->
         let v = Value.Str (Bitset.to_string default) in

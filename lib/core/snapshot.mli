@@ -4,14 +4,33 @@
     but ties it to the mutable sign/bitmap store, so a mutation epoch
     blocks the read path.  This module breaks that coupling: every
     committed [sign_epoch] becomes an {e immutable versioned snapshot}
-    — a frozen copy of the document, a frozen {!Cam} over its signs,
-    lazily built per-role maps over its bitmaps, and a private
-    decision cache, all keyed by the epoch that committed them.
-    Readers {e pin} a snapshot (refcounted) and answer requests from
-    it for as long as they like while the engine builds the next epoch
-    against its own working set; a snapshot is {e reclaimed} (its
-    references dropped, so the GC frees the copy) only once it is no
-    longer current {e and} its pin count has returned to zero.
+    — a frozen copy-on-write view of the document, a frozen {!Cam}
+    over its signs, lazily built per-role maps over its bitmaps, and a
+    private decision cache, all keyed by the epoch that committed
+    them.  Readers {e pin} a snapshot (refcounted) and answer requests
+    from it for as long as they like while the engine builds the next
+    epoch against its own working set; a snapshot is {e reclaimed}
+    (its references dropped, so the GC frees its private records) only
+    once it is no longer current {e and} its pin count has returned to
+    zero.
+
+    {2 Structural sharing}
+
+    {!capture} freezes the live tree in O(1) ({!Xmlac_xml.Tree.freeze})
+    instead of deep-copying it: consecutive snapshots share every node
+    record the intervening epoch did not touch, the CAM's persistent
+    entry map is shared wholesale, and memoized decisions plus
+    per-role maps are {e carried forward} whenever the epoch's change
+    set provably cannot have moved them.  Publish cost is therefore
+    O(nodes changed in the epoch), not O(document), and a thousand
+    pinned epochs of a large document cost little more than one copy
+    plus the sum of their change sets.  The registry accounts the
+    sharing at {e segment} granularity (records displaced per epoch,
+    grouped by birth generation): a reclaim triggers a gc pass that
+    retires every segment no live snapshot generation needs.  The
+    accounting is advisory — the OCaml GC performs the actual freeing
+    exactly when the last sharing view is dropped — so a crash in the
+    publish or gc path can never corrupt a pinned neighbor.
 
     The MVCC invariants (DESIGN.md §10):
 
@@ -19,27 +38,68 @@
     {- {e Readers never observe a partial epoch.}  A snapshot is
        captured only from a committed materialization — the engine
        publishes after [commit_op], never inside an open epoch — and
-       nothing mutates it afterwards, so every decision a pinned
-       reader computes is the decision the committed epoch would have
-       given.}
+       nothing mutates it afterwards ([Tree] refuses writes on frozen
+       views), so every decision a pinned reader computes is the
+       decision the committed epoch would have given.}
     {- {e Reclaim only at refcount 0.}  [publish] retires the previous
        current snapshot instead of dropping it while pins remain;
        [unpin] reclaims a retired snapshot exactly when its last pin
-       is released.}}
+       is released.}
+    {- {e A pinned snapshot's view is immutable even while successor
+       epochs mutate shared structure.}  The first write of each
+       generation to a shared record path-copies it, so frozen views
+       keep the records they froze.}}
 
     A snapshot is safe to share across OCaml domains: the document
-    copy and the single-subject map are frozen at capture, and the two
+    view and the single-subject map are frozen at capture, and the two
     mutable members (the per-role map table and the decision cache)
     are guarded by a private mutex.  Registry operations cross the
     fault points [snapshot.publish] (before the new snapshot is
-    installed) and [snapshot.reclaim] (after an old one is dropped),
-    so the crash sweeps can kill the writer at the reclaim boundaries
-    and verify pinned readers never notice. *)
+    installed), [snapshot.share] (before the epoch's shared-segment
+    accounting is recorded), [snapshot.reclaim] (after an old snapshot
+    is dropped) and [snapshot.gc] (after each reclaim-triggered
+    segment sweep), so the crash sweeps can kill the writer at every
+    sharing boundary and verify pinned readers never notice. *)
 
 type t
 (** One immutable snapshot of a committed epoch. *)
 
 val capture :
+  ?annotated:bool ->
+  ?bits_annotated:bool ->
+  ?prev:t ->
+  epoch:int ->
+  policy:Policy.t ->
+  cam:Cam.t ->
+  metrics:Xmlac_util.Metrics.t ->
+  Xmlac_xml.Tree.t ->
+  t
+(** [capture ~epoch ~policy ~cam ~metrics doc] freezes the committed
+    materialization: an O(1) {!Xmlac_xml.Tree.freeze} of [doc] (signs
+    and bitmaps included — [doc] moves to its next generation and
+    path-copies on its next writes) and an O(1) {!Cam.freeze} of
+    [cam] (valid for the view because entries are keyed by node id).
+
+    [prev] (normally the registry's current snapshot) enables
+    carry-forward: memoized decisions whose examined nodes the epoch
+    left untouched, rewrite-lane decisions after any non-structural
+    epoch, and the per-role maps after an epoch touching no bitmap
+    all migrate into the new snapshot instead of cold-starting.
+    Carry is gated on provenance (same tree family, exactly the next
+    generation, physically equal policy) and silently skipped
+    otherwise.
+
+    [annotated] / [bits_annotated] (both default [true]) record
+    whether the frozen signs / role bitmaps carried a committed
+    annotation epoch at capture — {!request}'s auto lane routes a
+    never-annotated frozen document through the rewrite lane instead
+    of its default-sign CAM.  [metrics] receives the snapshot's
+    lifetime counters ([snapshot.captures], [snapshot.reads],
+    [snapshot.cache.*], [snapshot.role_cam_builds],
+    [snapshot.cache.carried]).
+    @raise Invalid_argument when [doc] is itself a frozen view. *)
+
+val capture_full :
   ?annotated:bool ->
   ?bits_annotated:bool ->
   epoch:int ->
@@ -48,23 +108,18 @@ val capture :
   metrics:Xmlac_util.Metrics.t ->
   Xmlac_xml.Tree.t ->
   t
-(** [capture ~epoch ~policy ~cam ~metrics doc] freezes the committed
-    materialization: a private [Tree.copy] of [doc] (signs and
-    bitmaps included) and a {!Cam.freeze} of [cam] (valid for the copy
-    because entries are keyed by node id).  O(nodes + CAM entries).
-    [annotated] / [bits_annotated] (both default [true]) record
-    whether the frozen signs / role bitmaps carried a committed
-    annotation epoch at capture — {!request}'s auto lane routes a
-    never-annotated frozen document through the rewrite lane instead
-    of its default-sign CAM.  [metrics] receives the snapshot's
-    lifetime counters ([snapshot.captures], [snapshot.reads],
-    [snapshot.cache.*], [snapshot.role_cam_builds]). *)
+(** The pre-sharing capture: a deep [Tree.copy] of the document,
+    O(nodes), sharing nothing with the live tree or other snapshots.
+    Kept as the equivalence baseline ([test_mvcc]'s COW ≡ full-copy
+    property, the [exp_snapshot] bench's full-copy lane); the engine
+    always uses {!capture}. *)
 
 val epoch : t -> int
 (** The committed [sign_epoch] this snapshot captures. *)
 
 val document : t -> Xmlac_xml.Tree.t
-(** The frozen document copy.  Callers must not mutate it. *)
+(** The frozen document view.  Mutating it raises
+    [Invalid_argument]. *)
 
 val cam : t -> Cam.t
 (** The frozen single-subject accessibility map. *)
@@ -78,6 +133,13 @@ val bits_annotated : t -> bool
 
 val pins : t -> int
 (** Current pin count (readers holding this snapshot). *)
+
+val cow : t -> bool
+(** Whether this snapshot shares structure ({!capture}) rather than
+    owning a deep copy ({!capture_full}). *)
+
+val cached_decisions : t -> int
+(** Memoized decisions currently held (carried entries included). *)
 
 val resolve_lane :
   ?subject:string -> ?lane:Rewrite.lane -> t -> Rewrite.lane * string
@@ -112,7 +174,8 @@ val request :
 
     The engine owns one registry; it holds the {e current} snapshot
     (the latest committed epoch) plus any {e retired} ones still kept
-    alive by pins. *)
+    alive by pins, and the shared-segment accounting for the COW
+    snapshots of the current tree family. *)
 
 type registry
 
@@ -123,9 +186,11 @@ val create_registry : metrics:Xmlac_util.Metrics.t -> unit -> registry
 val publish : registry -> t -> unit
 (** Install [t] as the current snapshot.  The previous current is
     reclaimed immediately when unpinned, and retired (kept for its
-    readers) otherwise.  Crosses [snapshot.publish] before the swap
-    and [snapshot.reclaim] after a reclaim, both outside the
-    registry lock. *)
+    readers) otherwise.  Records the epoch's displaced records as
+    shared segments.  Crosses [snapshot.publish] then
+    [snapshot.share] before the swap, and [snapshot.reclaim] plus a
+    [snapshot.gc] sweep after a reclaim, all outside the registry
+    lock. *)
 
 val current : registry -> t option
 val current_epoch : registry -> int option
@@ -139,7 +204,8 @@ val pin : registry -> t
 val unpin : registry -> t -> unit
 (** Release one pin.  A retired snapshot whose pin count reaches zero
     is reclaimed on the spot (the invariant: reclaim only at refcount
-    0, and only of non-current snapshots).
+    0, and only of non-current snapshots), followed by a
+    [snapshot.gc] segment sweep.
     @raise Invalid_argument when [t] is not pinned. *)
 
 (** {1 Observability}
@@ -163,6 +229,24 @@ val max_retired : registry -> int
 (** High-water mark of the retired list — the reclaim lag: how far
     readers have trailed the writer at worst. *)
 
+val shared_records : registry -> int
+(** Displaced records currently held by live segments — the COW
+    overhead beyond one document: what pinned history costs over and
+    above the current tree. *)
+
+val shared_total : registry -> int
+(** Lifetime records recorded into segments at publish. *)
+
+val freed_total : registry -> int
+(** Lifetime records released by gc sweeps. *)
+
+val gc_passes : registry -> int
+(** Reclaim-triggered segment sweeps run. *)
+
 val pp_registry : Format.formatter -> registry -> unit
 (** Deterministic one-line summary (no addresses, no times) — safe
     for golden CLI transcripts. *)
+
+val pp_sharing : Format.formatter -> registry -> unit
+(** Deterministic one-line summary of the segment accounting (live
+    segments, records held, lifetime shared/freed, gc passes). *)

@@ -18,7 +18,7 @@ let make doc : Backend.t =
           (fun count id ->
             match Tree.find doc id with
             | Some n ->
-                Xmlac_xmldb.Store.annotate n sign;
+                Xmlac_xmldb.Store.annotate doc n sign;
                 count + 1
             | None -> count)
           0 ids);
@@ -39,7 +39,7 @@ let make doc : Backend.t =
            write back [None], the unannotated state the native store's
            compact representation relies on. *)
         match Tree.find doc id with
-        | Some n -> Tree.set_sign n s
+        | Some n -> Tree.set_sign doc n s
         | None -> ());
     set_bits_ids =
       (fun ids ~role ~value ~default ->
@@ -54,10 +54,28 @@ let make doc : Backend.t =
                   if value then Bitset.add role base
                   else Bitset.remove role base
                 in
-                Tree.set_bits n (Some bits);
+                Tree.set_bits doc n (Some bits);
                 count + 1
             | None -> count)
           0 ids);
+    set_bits_batch =
+      (fun edits ~default ->
+        (* All of a node's role edits fold into one bitmap write. *)
+        List.fold_left
+          (fun acc (id, role_edits) ->
+            match (Tree.find doc id, role_edits) with
+            | None, _ | _, [] -> acc
+            | Some n, _ ->
+                let base = Option.value n.Tree.bits ~default in
+                let bits =
+                  List.fold_left
+                    (fun b (role, value) ->
+                      if value then Bitset.add role b else Bitset.remove role b)
+                    base role_edits
+                in
+                Tree.set_bits doc n (Some bits);
+                acc + List.length role_edits)
+          0 edits);
     reset_bits =
       (fun ~default ->
         (* The native store keeps only materialized bitmaps, so
@@ -70,7 +88,7 @@ let make doc : Backend.t =
     restore_bits =
       (fun id b ->
         match Tree.find doc id with
-        | Some n -> Tree.set_bits n b
+        | Some n -> Tree.set_bits doc n b
         | None -> ());
     delete_update = (fun e -> Xmlac_xmldb.Update.delete doc e);
     has_node = (fun id -> Tree.find doc id <> None);

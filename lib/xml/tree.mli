@@ -1,4 +1,4 @@
-(** Rooted, unordered, mutable XML trees.
+(** Rooted, unordered, mutable XML trees with copy-on-write freezes.
 
     This is the document model of the paper (Section 2.1): nodes carry
     labels from a finite alphabet of element names, leaf nodes may carry
@@ -10,7 +10,28 @@
 
     Trees are mutable because the paper's workload is update-heavy:
     annotation flips signs in place and document updates delete or
-    insert subtrees. *)
+    insert subtrees.
+
+    {2 Generations and frozen views}
+
+    [freeze] publishes the current state as an immutable view in O(1):
+    the view shares every node record and the persistent id index with
+    the live tree, and the live tree moves to a new {e generation}.
+    Each node record remembers the generation that created it; the
+    first write of a generation to a record born earlier path-copies
+    the record and its ancestor chain ([O(depth)]) before mutating, so
+    frozen views never observe later writes.  A tree that is never
+    frozen mutates fully in place, exactly as before.
+
+    Two reading rules follow from path-copying.  (1) The current record
+    of a node always lists current records as its [children], so any
+    downward traversal from [root] sees only current state.  (2) A
+    record's [parent] pointer may reference a {e displaced} (superseded)
+    record whose [id]/[name] are correct but whose annotation slots are
+    stale — upward walks that read more than identity must resolve the
+    parent through [parent_live].  All mutators resolve their node
+    argument by id first, so stale references held across mutations
+    remain valid handles. *)
 
 type sign = Plus | Minus
 
@@ -22,13 +43,18 @@ type node = private {
   id : int;  (** Document-unique identifier, assigned at creation. *)
   mutable name : string;  (** Element name. *)
   mutable value : string option;  (** Text content of a leaf element. *)
-  mutable parent : node option;  (** [None] only for the root. *)
+  mutable parent : node option;
+      (** [None] only for the root.  May point at a displaced record
+          after the parent is path-copied: ids and names stay valid,
+          annotation slots may be stale — see [parent_live]. *)
   mutable children : node list;  (** Document order preserved. *)
   mutable sign : sign option;  (** Materialized annotation, if any. *)
   mutable bits : Xmlac_util.Bitset.t option;
       (** Multi-subject annotation: the set of role bit indices with
           access, or [None] when unannotated (every role falls back to
           its resolved default semantics). *)
+  mutable gen : int;  (** Generation that created this record. *)
+  fam : int;  (** The tree family the record belongs to. *)
 }
 
 type t
@@ -63,15 +89,23 @@ val graft : t -> node -> t -> node
 (** {1 Access} *)
 
 val find : t -> int -> node option
-(** Node by universal id; O(1). *)
+(** Node's current record by universal id; O(log n). *)
 
 val mem : t -> node -> bool
-(** Whether the node currently belongs to the document. *)
+(** Whether the node currently belongs to the document (by id: any
+    record of the node, current or displaced, answers the same). *)
 
 val size : t -> int
 (** Number of nodes in the document. *)
 
 val parent : node -> node option
+
+val parent_live : t -> node -> node option
+(** The {e current} record of [n]'s parent: [parent] resolved through
+    the document index.  Use this instead of [parent] whenever the
+    walk reads annotation slots or children, which can be stale on a
+    displaced record. *)
+
 val children : node -> node list
 
 val descendants : node -> node list
@@ -98,22 +132,65 @@ val count : (node -> bool) -> t -> int
 
 (** {1 Annotations} *)
 
-val set_sign : node -> sign option -> unit
+val set_sign : t -> node -> sign option -> unit
+(** Writes the node's sign slot (path-copying first if the record is
+    shared with a frozen view); no-op when the sign is unchanged. *)
+
 val signed : t -> sign -> node list
 (** Nodes currently carrying the given sign. *)
 
 val clear_signs : t -> unit
 
-val set_bits : node -> Xmlac_util.Bitset.t option -> unit
-(** Writes the node's role bitmap; [None] returns it to unannotated. *)
+val set_bits : t -> node -> Xmlac_util.Bitset.t option -> unit
+(** Writes the node's role bitmap; [None] returns it to unannotated.
+    No-op when the bitmap is unchanged. *)
 
 val clear_bits : t -> unit
 (** Erases every node's role bitmap (all nodes unannotated). *)
 
+(** {1 Freezing} *)
+
+type freeze_stats = {
+  frozen_gen : int;  (** Generation the view captured. *)
+  changed : int list;
+      (** Ids written during the frozen generation (ascending): the
+          epoch's change set.  Includes ids born and ids deleted. *)
+  born : int;  (** Records created during the generation. *)
+  displaced : (int * int) list;
+      (** [(birth_gen, count)]: records superseded or deleted during
+          the generation, grouped by the generation that created them —
+          the snapshot registry's shared-chunk accounting feed. *)
+  structural : bool;
+      (** Whether the generation inserted/deleted nodes or changed a
+          value (anything that can move query answer sets). *)
+  bits_touched : bool;  (** Whether any role bitmap was written. *)
+}
+
+val freeze : t -> t * freeze_stats
+(** Publishes the current state as an immutable view, O(1): the view
+    shares all unchanged structure with the live tree, which moves to
+    the next generation.  Mutating a frozen view raises
+    [Invalid_argument]; freezing a frozen view likewise. *)
+
+val frozen : t -> bool
+(** Whether [t] is a frozen view. *)
+
+val generation : t -> int
+(** The generation currently being written ([freeze] increments it);
+    on a frozen view, the generation the view captured. *)
+
+val family : t -> int
+(** Process-unique identifier shared by a tree and every view frozen
+    from it; [copy] starts a new family.  Two trees share structure
+    only within one family, so snapshot-sharing accounting keys on
+    it. *)
+
 (** {1 Copying and comparison} *)
 
 val copy : t -> t
-(** Deep copy preserving ids, values, signs and role bitmaps. *)
+(** Deep copy preserving ids, values, signs and role bitmaps.  The
+    copy is a fresh unfrozen generation-0 tree sharing nothing with
+    [t]. *)
 
 val equal_structure : t -> t -> bool
 (** Same shape, names and values (ids and signs ignored); children are

@@ -186,7 +186,7 @@ let parse input =
     let root_name = parse_name st in
     let doc = Tree.create ~root_name in
     let root = Tree.root doc in
-    Tree.set_sign root (parse_attributes st);
+    Tree.set_sign doc root (parse_attributes st);
     (* Parses the rest of an element whose start tag is open, given the
        node it populates. Returns after consuming the matching end tag
        (or the self-closing marker). *)
@@ -227,7 +227,7 @@ let parse input =
             fail st "mixed content is not supported";
           let child_name = parse_name st in
           let child = Tree.add_child doc node child_name in
-          Tree.set_sign child (parse_attributes st);
+          Tree.set_sign doc child (parse_attributes st);
           finish_element child child_name;
           parse_content node name
     in

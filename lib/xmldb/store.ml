@@ -31,11 +31,11 @@ let remove t name =
 
 let names t = List.rev t.order
 
-let annotate node sign = Tree.set_sign node (Some sign)
+let annotate doc node sign = Tree.set_sign doc node (Some sign)
 
 let annotate_all doc expr sign =
   let nodes = Eval.eval doc expr in
-  List.iter (fun n -> annotate n sign) nodes;
+  List.iter (fun n -> annotate doc n sign) nodes;
   List.length nodes
 
 let clear_annotations = Tree.clear_signs

@@ -26,8 +26,10 @@ val names : t -> string list
 
 (** {1 Annotation} *)
 
-val annotate : Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign -> unit
-(** [xmlac:annotate($n, $val)] — sets or replaces the node's sign. *)
+val annotate :
+  Xmlac_xml.Tree.t -> Xmlac_xml.Tree.node -> Xmlac_xml.Tree.sign -> unit
+(** [xmlac:annotate($n, $val)] — sets or replaces the node's sign in
+    the given document. *)
 
 val annotate_all :
   Xmlac_xml.Tree.t -> Xmlac_xpath.Ast.expr -> Xmlac_xml.Tree.sign -> int

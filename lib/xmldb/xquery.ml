@@ -208,7 +208,7 @@ let parse input =
             match action with
             | Return -> Nodes nodes
             | Annotate s ->
-                List.iter (fun n -> Store.annotate n s) nodes;
+                List.iter (fun n -> Store.annotate doc n s) nodes;
                 Annotated (List.length nodes) )
       end
       else begin

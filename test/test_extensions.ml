@@ -154,8 +154,8 @@ let cam_lookup_prop =
       Tree.iter
         (fun n ->
           match Prng.int rng 4 with
-          | 0 -> Tree.set_sign n (Some Tree.Plus)
-          | 1 -> Tree.set_sign n (Some Tree.Minus)
+          | 0 -> Tree.set_sign doc n (Some Tree.Plus)
+          | 1 -> Tree.set_sign doc n (Some Tree.Minus)
           | _ -> ())
         doc;
       let cam = Cam.build doc ~default:Tree.Minus in

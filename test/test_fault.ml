@@ -306,6 +306,7 @@ let test_fault_point_coverage () =
       "native.delete"; "row.delete"; "column.delete";
       "native.insert"; "row.insert"; "column.insert"; "cam.repair";
       "rewrite.compile";
+      "snapshot.publish"; "snapshot.share"; "snapshot.reclaim"; "snapshot.gc";
     ];
   Fault.reset ()
 

@@ -184,8 +184,10 @@ let crossed_points () =
 
 let test_crash_sweep_pinned_readers () =
   let points = crossed_points () in
-  Alcotest.(check bool) "sweep covers the snapshot publish point" true
-    (List.mem "snapshot.publish" points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("sweep covers " ^ p) true (List.mem p points))
+    [ "snapshot.publish"; "snapshot.share"; "snapshot.reclaim"; "snapshot.gc" ];
   List.iter
     (fun point ->
       Fault.reset ();
@@ -215,15 +217,131 @@ let test_crash_sweep_pinned_readers () =
   Fault.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* Structural sharing: published snapshots are COW views, memoized
+   decisions carry across a non-structural epoch, and the registry's
+   segment accounting drains to zero once no live generation needs the
+   displaced records. *)
+
+let test_cow_sharing_and_carry () =
+  Fault.reset ();
+  let eng = annotated_engine () in
+  let reg = Engine.snapshots eng in
+  let s0 = Engine.pin_snapshot eng in
+  Alcotest.(check bool) "published snapshots share structure" true
+    (Snapshot.cow s0);
+  (* Memoize a rewrite-lane decision: it reads no annotation, so the
+     next non-structural epoch must carry it instead of recomputing. *)
+  let d0 =
+    Format.asprintf "%a" Requester.pp
+      (Snapshot.request ~lane:Rewrite.Rewrite s0 "//nurse")
+  in
+  Alcotest.(check bool) "memoized on the pinned epoch" true
+    (Snapshot.cached_decisions s0 >= 1);
+  (* Re-annotation rewrites signs but no structure. *)
+  ignore (Engine.annotate_all eng);
+  let s1 = Engine.pin_snapshot eng in
+  Alcotest.(check bool) "decision carried before any request" true
+    (Snapshot.cached_decisions s1 >= 1);
+  Alcotest.(check string) "carried decision is the epoch's own answer" d0
+    (Format.asprintf "%a" Requester.pp
+       (Snapshot.request ~lane:Rewrite.Rewrite s1 "//nurse"));
+  (* A structural epoch displaces shared records; the registry holds
+     them as segments while pinned generations still need them. *)
+  ignore (Engine.update eng probe_update);
+  Alcotest.(check bool) "displaced records recorded at publish" true
+    (Snapshot.shared_total reg > 0);
+  Alcotest.(check bool) "pinned history keeps segments live" true
+    (Snapshot.shared_records reg > 0);
+  Engine.unpin_snapshot eng s0;
+  Engine.unpin_snapshot eng s1;
+  Alcotest.(check bool) "reclaim triggered gc sweeps" true
+    (Snapshot.gc_passes reg >= 1);
+  Alcotest.(check int) "no live generation needs the old segments" 0
+    (Snapshot.shared_records reg);
+  Alcotest.(check int) "every shared record accounted freed"
+    (Snapshot.shared_total reg) (Snapshot.freed_total reg);
+  Alcotest.(check bool) "sharing summary renders" true
+    (String.length (Format.asprintf "%a" Snapshot.pp_sharing reg) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* A killed COW publish must never corrupt a pinned neighbor.  The
+   writer dies inside the sharing machinery — publish, segment
+   recording, reclaim, gc sweep — while a reader pins an older view
+   that shares records with both the corpse and the survivor.  The
+   neighbor is checked two ways: its decision transcript (memoized)
+   and a fresh structural walk over every node's effective sign, which
+   re-reads the shared records and would expose any torn write. *)
+
+let view_signature snap =
+  let doc = Snapshot.document snap in
+  let cam = Snapshot.cam snap in
+  List.sort
+    (fun (a : Tree.node) (b : Tree.node) -> compare a.Tree.id b.Tree.id)
+    (Tree.nodes doc)
+  |> List.map (fun (n : Tree.node) ->
+         Printf.sprintf "%d=%s:%s" n.Tree.id n.Tree.name
+           (Tree.sign_to_string (Cam.lookup cam n)))
+  |> String.concat ","
+
+let test_cow_kill_never_corrupts_pinned_neighbor () =
+  List.iter
+    (fun point ->
+      Fault.reset ();
+      let eng = annotated_engine () in
+      (* Pin epoch N, then commit N+1 unpinned, so the next publish
+         reclaims N+1 on the spot — the reclaim is what pulls the gc
+         sweep into the victim update's path. *)
+      let neighbor = Engine.pin_snapshot eng in
+      let before = transcript neighbor in
+      let before_sig = view_signature neighbor in
+      ignore (Engine.update eng "//patient/psn");
+      Fault.arm point (Fault.After 1);
+      (match Engine.update eng probe_update with
+      | _ ->
+          (* The point was not crossed by this shape of commit; disarm
+             so the stale trigger cannot fire below. *)
+          Fault.reset ()
+      | exception Fault.Crash _ ->
+          Alcotest.(check string)
+            (Printf.sprintf "neighbor transcript intact while dead at %s" point)
+            before (transcript neighbor);
+          Alcotest.(check string)
+            (Printf.sprintf "neighbor records intact while dead at %s" point)
+            before_sig (view_signature neighbor);
+          ignore (Engine.recover eng));
+      Fault.reset ();
+      Alcotest.(check string)
+        (Printf.sprintf "neighbor transcript intact after recovery from %s"
+           point)
+        before (transcript neighbor);
+      Alcotest.(check string)
+        (Printf.sprintf "neighbor records intact after recovery from %s" point)
+        before_sig (view_signature neighbor);
+      Engine.unpin_snapshot eng neighbor)
+    [ "snapshot.publish"; "snapshot.share"; "snapshot.reclaim"; "snapshot.gc" ]
+
+(* ------------------------------------------------------------------ *)
 (* The qcheck property: random documents, policies and updates —
    a reader pinned on epoch N sees byte-identical decisions before,
    during (writer crashed mid-epoch) and after epoch N+1 commits,
    whatever the three backends are doing. *)
 
+let roles_policy =
+  lazy
+    (Policy_io.parse_exn
+       "role staff\n\
+        role doctor inherits staff\n\
+        default deny\n\
+        conflict deny\n\
+        allow //patient\n\
+        deny @staff //patient[treatment]\n\
+        allow @doctor //treatment\n")
+
 let random_policy rng doc =
-  match Prng.int rng 3 with
+  match Prng.int rng 4 with
   | 0 -> W.Hospital.policy
   | 1 -> W.Coverage.policy_for_target ~doc ~target:0.3
+  | 2 -> Lazy.force roles_policy
   | _ ->
       Policy.make ~ds:Rule.Minus ~cr:Rule.Minus
         (List.init
@@ -306,6 +424,104 @@ let isolation_prop =
         QCheck2.Test.fail_report
           "pinned reader moved after the next epoch committed";
       Engine.unpin_snapshot eng pinned;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* The COW ≡ full-copy property: along a random chain of committed
+   epochs, every published COW snapshot must answer exactly like a
+   deep-copy twin taken at the same instant — same decisions (with and
+   without subjects, so the per-role maps are exercised), same visible
+   node set, same effective sign at every node.  The twins are
+   interrogated only after the whole chain has committed, so the COW
+   side answers through carried memos and shared records that later
+   epochs path-copied around, while the full side evaluates fresh on a
+   private deep copy that shares nothing. *)
+
+let cow_equiv_prop =
+  QCheck2.Test.make
+    ~name:"COW snapshot ≡ full-copy twin across random epoch chains"
+    ~count:20
+    QCheck2.Gen.(pair Helpers.seed_gen Helpers.seed_gen)
+    (fun (doc_seed, op_seed) ->
+      Fault.reset ();
+      let rng = Prng.create ~seed:doc_seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let policy = random_policy rng doc in
+      let queries =
+        List.init 4 (fun _ ->
+            Pp.expr_to_string (Helpers.random_hospital_expr rng))
+      in
+      let eng = Engine.create ~dtd:W.Hospital.dtd ~policy doc in
+      ignore (Engine.annotate_all eng);
+      let roles = Policy.roles policy in
+      if roles <> [] then ignore (Engine.annotate_subjects_all eng);
+      let subjects = None :: List.map Option.some roles in
+      let orng = Prng.create ~seed:op_seed in
+      let twin () =
+        let cow = Engine.pin_snapshot eng in
+        let full =
+          Snapshot.capture_full
+            ~annotated:(Snapshot.annotated cow)
+            ~bits_annotated:(Snapshot.bits_annotated cow)
+            ~epoch:(Engine.sign_epoch eng) ~policy:(Engine.policy eng)
+            ~cam:(Engine.cam eng)
+            ~metrics:(Metrics.create ())
+            (Engine.document eng)
+        in
+        (* Reading through the COW side now populates its memo cache,
+           so the engine's next publish exercises carry-forward on
+           entries this property will re-check at the end. *)
+        List.iter
+          (fun q -> ignore (Snapshot.request cow q))
+          queries;
+        (cow, full)
+      in
+      let pairs = ref [ twin () ] in
+      for _ = 1 to 3 do
+        (match Prng.int orng 3 with
+        | 0 -> ignore (Engine.update eng (random_update orng))
+        | 1 -> ignore (Engine.annotate_all eng)
+        | _ ->
+            if roles <> [] then ignore (Engine.annotate_subjects_all eng)
+            else ignore (Engine.update eng (random_update orng)));
+        pairs := twin () :: !pairs
+      done;
+      List.iter
+        (fun (cow, full) ->
+          if not (Snapshot.cow cow) then
+            QCheck2.Test.fail_report "engine snapshot does not share structure";
+          if Snapshot.cow full then
+            QCheck2.Test.fail_report "capture_full claims sharing";
+          if Snapshot.epoch cow <> Snapshot.epoch full then
+            QCheck2.Test.fail_report "twins disagree on their epoch";
+          (* Visible node set and every effective sign. *)
+          let sc = view_signature cow and sf = view_signature full in
+          if sc <> sf then
+            QCheck2.Test.fail_reportf
+              "COW view diverges from full copy at epoch %d: %s vs %s"
+              (Snapshot.epoch cow) sc sf;
+          (* Decisions, per subject and query. *)
+          List.iter
+            (fun subject ->
+              List.iter
+                (fun q ->
+                  let d s =
+                    Format.asprintf "%a" Requester.pp
+                      (Snapshot.request ?subject s q)
+                  in
+                  let c = d cow and f = d full in
+                  if c <> f then
+                    QCheck2.Test.fail_reportf
+                      "COW decision diverges at epoch %d%s on %s: %s vs %s"
+                      (Snapshot.epoch cow)
+                      (match subject with
+                      | None -> ""
+                      | Some r -> " @" ^ r)
+                      q c f)
+                queries)
+            subjects)
+        !pairs;
+      List.iter (fun (cow, _) -> Engine.unpin_snapshot eng cow) !pairs;
       true)
 
 (* ------------------------------------------------------------------ *)
@@ -452,7 +668,18 @@ let () =
           tc "writer dies mid-epoch, readers unaffected"
             test_crash_sweep_pinned_readers;
         ] );
-      ( "properties", [ QCheck_alcotest.to_alcotest isolation_prop ] );
+      ( "sharing",
+        [
+          tc "cow capture, carry-forward, segment gc"
+            test_cow_sharing_and_carry;
+          tc "killed publish never corrupts a pinned neighbor"
+            test_cow_kill_never_corrupts_pinned_neighbor;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest isolation_prop;
+          QCheck_alcotest.to_alcotest cow_equiv_prop;
+        ] );
       ( "frontend",
         [
           tc "pool sequential mode" test_pool_sequential;

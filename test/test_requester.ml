@@ -187,7 +187,7 @@ let test_cam_apply_changes () =
   in
   List.iter
     (fun (n : Tree.node) ->
-      Tree.set_sign n
+      Tree.set_sign doc n
         (match n.Tree.sign with
         | Some Tree.Plus -> Some Tree.Minus
         | Some Tree.Minus -> None
@@ -203,7 +203,7 @@ let test_cam_apply_changes_root () =
   let doc = annotated_sample () in
   let cam = Cam.build doc ~default:Tree.Minus in
   let root = Tree.root doc in
-  Tree.set_sign root (Some Tree.Plus);
+  Tree.set_sign doc root (Some Tree.Plus);
   let _ = Cam.apply_changes cam doc ~changed:[ root.Tree.id ] in
   check_cam_equals_fresh "root change" cam doc;
   Alcotest.(check bool) "root lookup" true

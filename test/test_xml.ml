@@ -84,15 +84,15 @@ let test_tree_find () =
 
 let test_tree_signs () =
   let doc, _, b, c, _ = small_doc () in
-  Tree.set_sign b (Some Tree.Plus);
-  Tree.set_sign c (Some Tree.Minus);
+  Tree.set_sign doc b (Some Tree.Plus);
+  Tree.set_sign doc c (Some Tree.Minus);
   Alcotest.(check int) "plus" 1 (List.length (Tree.signed doc Tree.Plus));
   Tree.clear_signs doc;
   Alcotest.(check int) "cleared" 0 (List.length (Tree.signed doc Tree.Plus))
 
 let test_tree_copy_independent () =
   let doc, _, b, _, _ = small_doc () in
-  Tree.set_sign b (Some Tree.Plus);
+  Tree.set_sign doc b (Some Tree.Plus);
   let copy = Tree.copy doc in
   Alcotest.(check bool) "annotated equal" true (Tree.equal_annotated doc copy);
   Tree.delete doc b;
@@ -127,13 +127,13 @@ let test_escape () =
 
 let test_serialize_shape () =
   let doc, _, b, _, _ = small_doc () in
-  Tree.set_sign b (Some Tree.Plus);
+  Tree.set_sign doc b (Some Tree.Plus);
   let s = Serializer.to_string doc in
   Alcotest.(check string) "xml" "<a><b sign=\"+\"><d>x</d></b><c/></a>" s
 
 let test_serialize_no_signs () =
   let doc, _, b, _, _ = small_doc () in
-  Tree.set_sign b (Some Tree.Plus);
+  Tree.set_sign doc b (Some Tree.Plus);
   let s = Serializer.to_string ~signs:false doc in
   Alcotest.(check string) "xml" "<a><b><d>x</d></b><c/></a>" s
 
@@ -145,7 +145,7 @@ let test_byte_size_consistent () =
 
 let test_parse_round_trip () =
   let doc, _, b, _, _ = small_doc () in
-  Tree.set_sign b (Some Tree.Minus);
+  Tree.set_sign doc b (Some Tree.Minus);
   let s = Serializer.to_string doc in
   let doc' = Xml_parser.parse_exn s in
   Alcotest.(check bool) "round trip (structure+signs)" true
@@ -353,8 +353,8 @@ let roundtrip_prop =
       Tree.iter
         (fun n ->
           match Prng.int rng 3 with
-          | 0 -> Tree.set_sign n (Some Tree.Plus)
-          | 1 -> Tree.set_sign n (Some Tree.Minus)
+          | 0 -> Tree.set_sign doc n (Some Tree.Plus)
+          | 1 -> Tree.set_sign doc n (Some Tree.Minus)
           | _ -> ())
         doc;
       let doc' = Xml_parser.parse_exn (Serializer.to_string doc) in

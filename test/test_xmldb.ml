@@ -50,10 +50,10 @@ let test_annotate_insert_then_replace () =
   let _, doc = fresh_store () in
   let patient = List.hd (Xmlac_xpath.Eval.eval doc (parse "//patient")) in
   (* xmlac:annotate inserts the sign attribute when absent... *)
-  Store.annotate patient Tree.Plus;
+  Store.annotate doc patient Tree.Plus;
   Alcotest.(check bool) "inserted" true (patient.Tree.sign = Some Tree.Plus);
   (* ...and replaces its value when present. *)
-  Store.annotate patient Tree.Minus;
+  Store.annotate doc patient Tree.Minus;
   Alcotest.(check bool) "replaced" true (patient.Tree.sign = Some Tree.Minus)
 
 let test_annotate_all () =
