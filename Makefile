@@ -62,6 +62,25 @@ bench-rewrite:
 bench-snapshot:
 	dune exec bench/main.exe -- -e snapshot
 
+# Replication under load: apply lag p50/p99 and failover
+# time-to-first-served-read across a readers x churn x fault-rate
+# grid.  Exits non-zero on a single stale grant (a follower serving a
+# grant the leader never made at that epoch), on unbounded lag, or on
+# a failover that never serves.
+bench-replication:
+	dune exec bench/main.exe -- -e replication
+
+# Replication chaos soak: the replicate test binary (chaos
+# convergence, kill sweeps, cross-node equivalence property) under
+# the CI replication-soak job's three fixed seeds, then the
+# replication bench once.
+soak-replication:
+	@for seed in 1 7 20090101; do \
+	  echo "== replication soak, fault seed $$seed =="; \
+	  XMLAC_FAULT_SEED=$$seed dune exec test/test_replicate.exe || exit 1; \
+	done
+	dune exec bench/main.exe -- -e replication
+
 doc:
 	dune build @doc
 
@@ -71,4 +90,4 @@ quickstart:
 clean:
 	dune clean
 
-.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent bench-rewrite bench-snapshot doc quickstart clean
+.PHONY: all test ci soak bench bench-full bench-multirole bench-concurrent bench-rewrite bench-snapshot bench-replication soak-replication doc quickstart clean

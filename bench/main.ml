@@ -25,6 +25,7 @@ type experiment =
   | Resilience
   | Concurrent
   | Snapshot
+  | Replication
   | Micro
   | All
 
@@ -44,6 +45,7 @@ let experiment_of_string = function
   | "resilience" -> Ok Resilience
   | "concurrent" -> Ok Concurrent
   | "snapshot" -> Ok Snapshot
+  | "replication" -> Ok Replication
   | "micro" -> Ok Micro
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown experiment %S" s))
@@ -69,6 +71,7 @@ let experiment_conv =
           | Resilience -> "resilience"
           | Concurrent -> "concurrent"
           | Snapshot -> "snapshot"
+          | Replication -> "replication"
           | Micro -> "micro"
           | All -> "all") )
 
@@ -88,6 +91,7 @@ let run_one cfg = function
   | Resilience -> Exp_resilience.run cfg
   | Concurrent -> Exp_concurrent.run cfg
   | Snapshot -> Exp_snapshot.run cfg
+  | Replication -> Exp_replication.run cfg
   | Micro -> Exp_micro.run ()
   | All ->
       Exp_table3.run ();
@@ -105,6 +109,7 @@ let run_one cfg = function
       Exp_resilience.run cfg;
       Exp_concurrent.run cfg;
       Exp_snapshot.run cfg;
+      Exp_replication.run cfg;
       Exp_micro.run ()
 
 let main experiments full updates factors =
@@ -133,7 +138,7 @@ let experiments_arg =
   let doc =
     "Experiment to run: table3, table5, fig9, fig10, fig11, fig12, ablation, \
      ablation-plan, requester, rewrite, multirole, recovery, resilience, \
-     concurrent, micro or all \
+     concurrent, snapshot, replication, micro or all \
      (repeatable)."
   in
   Arg.(value & opt_all experiment_conv [] & info [ "e"; "experiment" ] ~doc)

@@ -13,7 +13,8 @@
      explain    annotation plan, rewrite trace, lowerings, timings
      recover    crash a mutating epoch at a fault point, then recover
      health     probe the resilient serving layer under injected faults
-     serve      run pinned-snapshot reader sessions against a churning writer *)
+     serve      run pinned-snapshot reader sessions against a churning writer
+     replicate  ship committed epochs to followers over a chaos transport *)
 
 open Cmdliner
 open Xmlac_core
@@ -23,6 +24,7 @@ module Serve = Xmlac_serve.Serve
 module Breaker = Xmlac_serve.Breaker
 module Session = Xmlac_serve.Session
 module Pool = Xmlac_serve.Pool
+module Repl = Xmlac_replicate.Replicate
 module Timing = Xmlac_util.Timing
 
 let read_file path =
@@ -459,6 +461,40 @@ let explain policy_path dtd_name doc_path raw requests subjects lane =
       Format.printf "  %a@." Snapshot.pp_registry (Engine.snapshots eng);
       Printf.printf "  stale denials     %d\n"
         (Xmlac_util.Metrics.counter m Xmlac_util.Metrics.stale_snapshot_denials);
+      (* What the epoch shipper would put on the wire for this engine:
+         the state digest a follower re-derives after every applied
+         frame, and the committed row-WAL epoch ledger read through the
+         same cursor replication uses. *)
+      print_endline "replication:";
+      Printf.printf "  state digest      %08lx (follower verifies per applied epoch)\n"
+        (Engine.state_checksum eng);
+      List.iter
+        (fun kind ->
+          match Engine.wal eng kind with
+          | None -> ()
+          | Some w ->
+              let ledger =
+                List.rev
+                  (Xmlac_reldb.Wal.fold_epochs w
+                     (fun acc ~epoch ~records:_ ->
+                       (epoch, Xmlac_reldb.Wal.epoch_checksum w epoch) :: acc)
+                     [])
+              in
+              Printf.printf "  %-10s ledger %d shippable epoch(s)%s\n"
+                (Engine.backend_kind_to_string kind)
+                (List.length ledger)
+                (match ledger with
+                | [] -> ""
+                | _ ->
+                    ": "
+                    ^ String.concat ", "
+                        (List.map
+                           (fun (e, sum) ->
+                             match sum with
+                             | Some sum -> Printf.sprintf "%d:%08lx" e sum
+                             | None -> Printf.sprintf "%d:?" e)
+                           ledger)))
+        Engine.all_backend_kinds;
       Format.printf "@[<v 2>  metrics:@,%a@]@."
         Xmlac_util.Metrics.pp (Engine.metrics eng)
 
@@ -596,7 +632,7 @@ let recover_cmd =
 (* --- health ------------------------------------------------------- *)
 
 let health_run policy_path dtd_name doc_path requests fault_rate seed
-    deadline_ticks retries =
+    deadline_ticks retries followers =
   let policy = Optimizer.optimize_policy (load_policy policy_path) in
   let dtd = load_dtd dtd_name in
   let doc = load_doc doc_path in
@@ -665,7 +701,44 @@ let health_run policy_path dtd_name doc_path requests fault_rate seed
   let h = Serve.health serve in
   Format.printf "%a@?" Serve.pp_health h;
   Fault.reset ();
-  if not (Serve.healthy h) then exit 3
+  let repl_ok =
+    if followers <= 0 then true
+    else begin
+      (* Replication probe: a fresh cluster over the same inputs, the
+         annotation epochs shipped through the chaos transport at the
+         probe's fault rate, then one status line per node plus the
+         stream counters. *)
+      let rconfig =
+        {
+          Repl.default_config with
+          Repl.seed = Int64.of_int seed;
+          drop_p = fault_rate;
+          dup_p = fault_rate;
+          reorder_p = fault_rate;
+          torn_p = fault_rate /. 2.0;
+          max_reship = 10_000;
+          serve = config;
+        }
+      in
+      let cluster = Repl.create ~config:rconfig ~followers ~dtd ~policy doc in
+      let ok = ref true in
+      (match Repl.annotate_all cluster with
+      | Ok () -> ()
+      | Error e ->
+          ok := false;
+          Printf.printf "replication: annotate failed: %s\n" e.Serve.message);
+      let converged = Repl.sync cluster in
+      Printf.printf "replication: %d committed epoch(s), %d follower(s)%s\n"
+        (Repl.committed cluster) followers
+        (if converged then "" else "  NOT CONVERGED");
+      Format.printf "%a" Repl.pp_status cluster;
+      Fault.reset ();
+      !ok && converged
+      && not
+           (List.exists (Repl.diverged cluster) (Repl.nodes cluster))
+    end
+  in
+  if not (Serve.healthy h && repl_ok) then exit 3
 
 let health_cmd =
   let policy_path =
@@ -702,14 +775,22 @@ let health_cmd =
     Arg.(value & opt int 2
          & info [ "retries" ] ~doc:"Transient retry budget per request.")
   in
+  let followers =
+    Arg.(value & opt int 0
+         & info [ "followers" ]
+             ~doc:"Also probe replication: ship the annotation epochs to \
+                   this many followers through the chaos transport at \
+                   --fault-rate and report per-node role, applied epoch, \
+                   lag and the stream counters (0 skips the probe).")
+  in
   Cmd.v
     (Cmd.info "health"
        ~doc:"Drive a probe workload through the resilient serving layer \
              under an optional transient-fault schedule, then report breaker \
-             states, queue depth and snapshot coherence (exit code 3 if the \
-             layer ends unhealthy).")
+             states, queue depth, snapshot coherence and — with --followers \
+             — replication lag (exit code 3 if the layer ends unhealthy).")
     Term.(const health_run $ policy_path $ dtd_name $ doc_path $ requests
-          $ fault_rate $ seed $ deadline_ticks $ retries)
+          $ fault_rate $ seed $ deadline_ticks $ retries $ followers)
 
 (* --- serve -------------------------------------------------------- *)
 
@@ -838,6 +919,154 @@ let serve_cmd =
     Term.(const serve_run $ policy_path $ dtd_name $ doc_path $ readers
           $ requests $ churn $ update_expr $ domains)
 
+(* --- replicate ---------------------------------------------------- *)
+
+let replicate_run policy_path dtd_name doc_path followers churn update_expr
+    fault_rate seed lag_threshold kill =
+  let policy = Optimizer.optimize_policy (load_policy policy_path) in
+  let dtd = load_dtd dtd_name in
+  let doc = load_doc doc_path in
+  Fault.reset ();
+  let config =
+    {
+      Repl.default_config with
+      Repl.seed = Int64.of_int seed;
+      lag_threshold;
+      drop_p = fault_rate;
+      dup_p = fault_rate;
+      reorder_p = fault_rate;
+      torn_p = fault_rate /. 2.0;
+      max_reship = 10_000;
+    }
+  in
+  let cluster = Repl.create ~config ~followers ~dtd ~policy doc in
+  let failed = ref false in
+  let check what = function
+    | Ok () -> ()
+    | Error (e : Serve.error) ->
+        failed := true;
+        Printf.printf "%s failed: %s\n" what e.Serve.message
+  in
+  check "annotate" (Repl.annotate_all cluster);
+  if Policy.role_count policy > 0 then
+    check "annotate-subjects" (Repl.annotate_subjects_all cluster);
+  for _ = 1 to churn do
+    check "update" (Repl.update cluster update_expr);
+    Repl.pump cluster
+  done;
+  let converged = Repl.sync cluster in
+  if not converged then failed := true;
+  Printf.printf "replicated %d committed epoch(s) to %d follower(s)%s\n"
+    (Repl.committed cluster) followers
+    (if converged then "" else "  NOT CONVERGED");
+  Format.printf "%a" Repl.pp_status cluster;
+  (* One routed read: lag-aware routing prefers the least-lagged
+     serving follower, keeping the leader free for writes. *)
+  let probe =
+    match Policy.rules policy with
+    | r :: _ -> Xmlac_xpath.Pp.expr_to_string r.Rule.resource
+    | [] -> "//*"
+  in
+  let node_id, reply = Repl.route cluster probe in
+  (match reply with
+  | Ok r ->
+      Format.printf "route %-24s -> node %d (%s): %a@." probe node_id
+        (Repl.role_to_string (Repl.node_role cluster node_id))
+        Requester.pp r.Serve.decision
+  | Error e ->
+      failed := true;
+      Printf.printf "route %s -> error: %s\n" probe e.Serve.message);
+  if kill then begin
+    Repl.kill_leader cluster;
+    print_endline "leader killed";
+    let best =
+      List.fold_left
+        (fun acc id ->
+          if Repl.node_role cluster id = Repl.Follower then
+            match acc with
+            | Some b when Repl.lag cluster b <= Repl.lag cluster id -> acc
+            | _ -> Some id
+          else acc)
+        None (Repl.nodes cluster)
+    in
+    match best with
+    | None ->
+        failed := true;
+        print_endline "no promotable follower"
+    | Some id -> (
+        match Repl.promote cluster id with
+        | Error msg ->
+            failed := true;
+            Printf.printf "promotion refused: %s\n" msg
+        | Ok p ->
+            Printf.printf "promoted node %d at epoch %d (state digest %08lx)\n"
+              p.Repl.node p.Repl.epoch p.Repl.state_sum;
+            check "post-promotion update" (Repl.update cluster update_expr);
+            if not (Repl.sync cluster) then begin
+              failed := true;
+              print_endline "post-promotion sync did not converge"
+            end;
+            Format.printf "%a" Repl.pp_status cluster)
+  end;
+  Fault.reset ();
+  if !failed then exit 3
+
+let replicate_cmd =
+  let policy_path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY")
+  in
+  let dtd_name =
+    Arg.(required & opt (some string) None
+         & info [ "dtd" ] ~doc:"DTD: hospital, xmark or a file.")
+  in
+  let doc_path =
+    Arg.(required & opt (some file) None
+         & info [ "doc" ] ~doc:"Document every node is built over.")
+  in
+  let followers =
+    Arg.(value & opt int 2
+         & info [ "followers" ] ~doc:"Read-only replicas behind the leader.")
+  in
+  let churn =
+    Arg.(value & opt int 3
+         & info [ "churn" ] ~doc:"Committed delete updates to ship.")
+  in
+  let update_expr =
+    Arg.(value & opt string "//person/creditcard"
+         & info [ "update" ] ~doc:"Delete update the leader loops on.")
+  in
+  let fault_rate =
+    Arg.(value & opt float 0.0
+         & info [ "fault-rate" ]
+             ~doc:"Per-frame drop/duplicate/reorder probability on the \
+                   transport (torn frames at half this rate).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Seed for the transport chaos schedule.")
+  in
+  let lag_threshold =
+    Arg.(value & opt int 1
+         & info [ "lag-threshold" ]
+             ~doc:"Serve follower reads while lag is at most this many \
+                   epochs; beyond it a follower fails closed.")
+  in
+  let kill =
+    Arg.(value & flag
+         & info [ "kill" ]
+             ~doc:"After the churn phase, kill the leader, promote the \
+                   least-lagged follower and commit one write through the \
+                   new leader.")
+  in
+  Cmd.v
+    (Cmd.info "replicate"
+       ~doc:"Ship committed epochs from a leader to follower replicas over \
+             a deterministic chaos transport, report per-node lag and the \
+             stream counters, and optionally fail over (exit code 3 on \
+             divergence or non-convergence).")
+    Term.(const replicate_run $ policy_path $ dtd_name $ doc_path $ followers
+          $ churn $ update_expr $ fault_rate $ seed $ lag_threshold $ kill)
+
 (* --- view --------------------------------------------------------- *)
 
 let view doc_path policy_path mode output =
@@ -901,4 +1130,5 @@ let () =
             generate_cmd; dtd_cmd; shred_cmd; optimize_cmd; annotate_cmd;
             query_cmd; roles_cmd; update_cmd; depend_cmd; explain_cmd;
             view_cmd; cam_cmd; recover_cmd; health_cmd; serve_cmd;
+            replicate_cmd;
           ]))

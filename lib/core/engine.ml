@@ -29,6 +29,21 @@ type op =
   | Op_annotate_subjects of backend_kind
   | Op_update of string
   | Op_insert of { at : string; fragment : Tree.t }
+  | Op_noop
+      (** An epoch that consumes its number without touching any store:
+          what a replica applies when the leader's epoch aborted (its
+          crash recovery rolled back), so epoch counters stay aligned
+          without replaying a mutation that never took effect. *)
+
+(* The wire-visible description of one committed epoch — everything a
+   replica needs to reproduce the leader's operation through its own
+   (deterministic) engine entry points. *)
+type shipped_op =
+  | Ship_noop
+  | Ship_annotate of backend_kind
+  | Ship_annotate_subjects of backend_kind
+  | Ship_update of string
+  | Ship_insert of { at : string; fragment : Tree.t }
 
 type open_op = {
   num : int;  (** The epoch number being attempted. *)
@@ -97,6 +112,11 @@ type t = {
   (* MVCC: every committed sign epoch is published as an immutable
      snapshot; readers pin one and never block on the writer. *)
   snapshots : Snapshot.registry;
+  (* Replication: a read-only replica refuses caller mutations; only
+     [apply_replica] (which sets [applying] for its extent) may open
+     epochs on it.  Promotion flips [read_only] back off. *)
+  mutable read_only : bool;
+  mutable applying : bool;
 }
 
 (* Freeze the committed materialization as of [sign_epoch] and install
@@ -191,6 +211,8 @@ let create ?(mode = Paper_mode) ?(optimize = true) ?cache_capacity ~dtd ~policy
     sign_epoch = 0;
     open_op = None;
     snapshots = Snapshot.create_registry ~metrics ();
+    read_only = false;
+    applying = false;
   }
   in
   (* Epoch 0 (the load-time materialization) is a committed epoch like
@@ -341,6 +363,10 @@ let refresh t =
    [commit_op] advances [sign_epoch].  A crash (Fault.Crash escaping
    the operation) leaves [open_op] set; {!recover} resolves it. *)
 let begin_op t op =
+  if t.read_only && not t.applying then
+    invalid_arg
+      "Engine: read-only replica refuses direct mutation (epochs arrive via \
+       apply_replica; promote to make it writable)";
   (match t.open_op with
   | Some o ->
       invalid_arg
@@ -717,7 +743,7 @@ let roll_forward t o =
       (Reannotator.finish ~schema:t.sg b t.depend prepared ~deleted_roots)
   in
   match o.op with
-  | Op_annotate _ | Op_annotate_subjects _ -> assert false
+  | Op_annotate _ | Op_annotate_subjects _ | Op_noop -> assert false
   | Op_update query ->
       let expr = Xmlac_xpath.Parser.parse_exn query in
       List.iter
@@ -799,7 +825,7 @@ let recover t =
       t.divergent <- o.saved_divergent;
       let direction, repaired =
         match o.op with
-        | Op_annotate _ | Op_annotate_subjects _ ->
+        | Op_annotate _ | Op_annotate_subjects _ | Op_noop ->
             (* Annotation-only operation: the rollback above already
                restored the pre-epoch materialization — signs and
                bitmaps both — on every store. *)
@@ -861,3 +887,57 @@ let consistent_subjects t =
       | [ a; b; c ] -> a = b && b = c
       | _ -> assert false)
     (Policy.roles t.policy)
+
+(* --- replication ---------------------------------------------------- *)
+
+let read_only t = t.read_only
+let set_read_only t flag = t.read_only <- flag
+
+let noop_epoch t =
+  let o = begin_op t Op_noop in
+  commit_op t o
+
+let apply_replica t op =
+  Fault.point "repl.apply";
+  let was = t.applying in
+  t.applying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.applying <- was)
+    (fun () ->
+      match op with
+      | Ship_noop -> noop_epoch t
+      | Ship_annotate kind -> ignore (annotate t kind)
+      | Ship_annotate_subjects kind -> ignore (annotate_subjects t kind)
+      | Ship_update query -> ignore (update t query)
+      | Ship_insert { at; fragment } -> ignore (insert t ~at ~fragment))
+
+(* A deterministic digest of the enforcement-relevant materialization:
+   the anonymous accessible set and every role's accessible set, per
+   backend.  Epoch counters are deliberately excluded — a replica whose
+   crash recovery consumed extra local epoch numbers still converges on
+   the leader's answers, and this digest is the arbiter of that
+   convergence (shipped per frame, re-verified at promotion). *)
+let state_checksum t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun kind ->
+      Buffer.add_string buf (backend_kind_to_string kind);
+      Buffer.add_char buf '\x00';
+      List.iter
+        (fun id ->
+          Buffer.add_string buf (string_of_int id);
+          Buffer.add_char buf ',')
+        (accessible t kind);
+      List.iter
+        (fun role ->
+          Buffer.add_char buf '@';
+          Buffer.add_string buf role;
+          Buffer.add_char buf ':';
+          List.iter
+            (fun id ->
+              Buffer.add_string buf (string_of_int id);
+              Buffer.add_char buf ',')
+            (accessible_subject t kind role))
+        (Policy.roles t.policy))
+    all_backend_kinds;
+  Wal.adler32 1l (Buffer.contents buf)

@@ -323,3 +323,51 @@ val recover : t -> recovery
     Safe to call when nothing crashed (reports [`None]), and
     {e idempotent}: a second call after a completed recovery is a pure
     no-op — no epoch bump, no cache clear, no counter movement. *)
+
+(** {1 Replication}
+
+    The hooks [Xmlac_replicate] builds on.  A committed epoch's
+    operation travels to replicas as a {!shipped_op} — a logical,
+    deterministic description replayed through the replica's own
+    engine entry points, so a shipped epoch inherits the full sign
+    epoch machinery above: journaled writes, WAL framing, and
+    crash recovery that lands strictly pre- or post-epoch. *)
+
+type shipped_op =
+  | Ship_noop
+      (** Consume one epoch number without touching any store — what
+          the leader ships for an epoch its own crash recovery rolled
+          back, keeping replicas aligned without replaying an
+          operation that never took effect. *)
+  | Ship_annotate of backend_kind
+  | Ship_annotate_subjects of backend_kind
+  | Ship_update of string
+  | Ship_insert of { at : string; fragment : Xmlac_xml.Tree.t }
+      (** The fragment is reconstructed from serialized XML on the
+          wire; replicas graft it with the same universal ids because
+          both sides run the deterministic insert path over identical
+          documents. *)
+
+val apply_replica : t -> shipped_op -> unit
+(** Replay one shipped epoch through the normal (crash-safe) mutation
+    path, bypassing the {!read_only} guard.  Crosses the
+    ["repl.apply"] fault point first; a {!Xmlac_util.Fault.Crash}
+    escaping mid-apply leaves an open epoch that {!recover} resolves
+    into the pre- or post-epoch state, never a mix.
+    @raise Invalid_argument while an epoch is open (recover first). *)
+
+val read_only : t -> bool
+
+val set_read_only : t -> bool -> unit
+(** A read-only engine (a follower replica) refuses every direct
+    mutating entry point with [Invalid_argument]; {!apply_replica}
+    (and {!recover}) still work.  Promotion clears the flag. *)
+
+val state_checksum : t -> int32
+(** Deterministic digest of the enforcement-relevant materialization:
+    the anonymous and every role's accessible id set on all three
+    backends.  Engine-local epoch counters are excluded, so a replica
+    whose own crash recoveries consumed extra epoch numbers still
+    digests equal once its answers converge on the leader's — this is
+    the divergence check shipped with every frame and re-verified by
+    promotion. *)

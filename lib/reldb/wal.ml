@@ -189,25 +189,72 @@ let rotated t = t.rotated
 
 let entries t = List.rev_map (fun c -> c.entry) t.cells
 
-let replay t f =
+(* The one committed-prefix cursor every consumer shares: the retained
+   cells oldest-first together with the cut recovery would truncate at.
+   [replay], [fold_epochs] and [recover] all read the log through this,
+   so "what counts as committed" has exactly one definition. *)
+let committed_prefix t =
   let os = List.rev t.cells in
-  let cut = cut_index os in
-  let n = ref 0 in
-  List.iteri
-    (fun i c ->
-      let committed = match cut with None -> true | Some j -> i < j in
-      if committed then
-        match c.entry with
-        | Record s ->
-            f s;
-            incr n
-        | Begin _ | Commit _ -> ())
-    os;
-  !n
+  (os, cut_index os)
+
+let fold_committed t f acc =
+  let os, cut = committed_prefix t in
+  let _, acc =
+    List.fold_left
+      (fun (i, acc) c ->
+        let committed = match cut with None -> true | Some j -> i < j in
+        (i + 1, if committed then f acc c.entry else acc))
+      (0, acc) os
+  in
+  acc
+
+let replay t f =
+  fold_committed t
+    (fun n e ->
+      match e with
+      | Record s ->
+          f s;
+          n + 1
+      | Begin _ | Commit _ -> n)
+    0
+
+(* Incremental epoch cursor: committed epochs oldest-first, each as its
+   record batch.  An epoch only surfaces once its Commit marker is in
+   the committed prefix, so a shipper can never frame a partial epoch.
+   Records logged outside any epoch (bulk load) carry no epoch number
+   and are not visited — they belong to the base image, not the
+   replication stream. *)
+let fold_epochs ?(from = min_int) t f acc =
+  let finish (acc, open_) =
+    ignore open_;
+    acc
+  in
+  finish
+    (fold_committed t
+       (fun (acc, open_) e ->
+         match (e, open_) with
+         | Begin n, _ -> (acc, Some (n, []))
+         | Record s, Some (n, rs) -> (acc, Some (n, s :: rs))
+         | Record _, None -> (acc, None)
+         | Commit n, Some (m, rs) when n = m ->
+             if n > from then (f acc ~epoch:n ~records:(List.rev rs), None)
+             else (acc, None)
+         | Commit _, _ -> (acc, None))
+       (acc, None))
+
+let epoch_records t n =
+  fold_epochs t
+    (fun acc ~epoch ~records -> if epoch = n then Some records else acc)
+    None
+
+let epoch_checksum t n =
+  Option.map
+    (fun records -> List.fold_left adler32 1l records)
+    (epoch_records t n)
 
 let recover t =
-  let os = List.rev t.cells in
-  match cut_index os with
+  let os, cut = committed_prefix t in
+  match cut with
   | None ->
       t.open_ep <- None;
       0

@@ -77,7 +77,36 @@ val replay : t -> (string -> unit) -> int
 (** Applies the callback to every {e committed} retained record, oldest
     first — records of an open epoch and torn records are skipped, as
     {!recover} would drop them.  Returns how many were replayed.  Does
-    not modify the log. *)
+    not modify the log.  Implemented over the same committed-prefix
+    cursor as {!fold_epochs} and {!recover}, so the three never
+    disagree about what is committed. *)
+
+val fold_epochs :
+  ?from:int -> t -> ('a -> epoch:int -> records:string list -> 'a) -> 'a -> 'a
+(** The incremental epoch cursor the replication shipper reads:
+    committed retained epochs oldest-first, each with its record batch
+    in log order.  An epoch is visited only once its commit marker is
+    inside the committed prefix — a torn or open tail can never
+    surface, even partially.  [~from] seeks: epochs numbered [<= from]
+    are skipped (default: visit every retained epoch).  Records logged
+    outside any epoch (bulk load) belong to the base image and are not
+    visited.  Does not modify the log. *)
+
+val epoch_records : t -> int -> string list option
+(** Seek-by-epoch over {!fold_epochs}: committed epoch [n]'s records in
+    log order, or [None] when [n] is uncommitted, torn or rotated
+    away. *)
+
+val epoch_checksum : t -> int -> int32 option
+(** {!adler32} over committed epoch [n]'s records (seeded with [1l]),
+    or [None] as in {!epoch_records}.  What the shipper frames and a
+    follower re-derives from its own log to cross-check an applied
+    epoch. *)
+
+val adler32 : int32 -> string -> int32
+(** The log's rolling checksum primitive (Adler-32), exposed so frames
+    shipped to replicas are summed with the same arithmetic the log
+    itself uses. *)
 
 val recover : t -> int
 (** Truncate-to-last-commit: drops torn entries and everything logged

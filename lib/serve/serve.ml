@@ -145,6 +145,8 @@ let typed_error ?(attempts = 0) exn =
   let class_, site, message = classify exn in
   { class_; site; attempts; message }
 
+let error_of_exn = typed_error
+
 (* ---------- self-healing ---------- *)
 
 (* A fault between the two [Wal.begin_epoch] calls leaves one WAL

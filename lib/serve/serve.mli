@@ -57,6 +57,15 @@ type error = {
 
 val pp_error : Format.formatter -> error -> unit
 
+val error_of_exn : ?attempts:int -> exn -> error
+(** Classify any exception into the taxonomy above — the same mapping
+    the request and mutation paths use internally
+    ({!Xmlac_util.Fault.Transient} → [Transient],
+    {!Xmlac_util.Deadline.Expired} → [Timeout], checksum/torn/corrupt
+    failures → [Corrupt], everything else → [Fatal]).  Exposed so
+    other resilience layers (replication's ship/apply loops) retry and
+    report with the identical taxonomy. *)
+
 (** {1 Configuration} *)
 
 type config = {

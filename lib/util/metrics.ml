@@ -15,6 +15,7 @@ type t = {
 }
 
 let stale_snapshot_denials = "serve.stale_snapshot_denials"
+let repl_stale_denials = "repl.stale_denials"
 
 let with_lock t f =
   Mutex.lock t.lock;

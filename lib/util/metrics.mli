@@ -28,6 +28,13 @@ val stale_snapshot_denials : string
     [sign_epoch].  Incremented by [Serve], surfaced by
     [xmlacctl explain --request] and [xmlacctl health]. *)
 
+val repl_stale_denials : string
+(** The canonical counter name (["repl.stale_denials"]) for follower
+    reads blanket-denied fail-closed because replication lag exceeded
+    the configured epoch threshold (or the follower was marked
+    divergent).  Incremented by [Xmlac_replicate], surfaced by
+    [xmlacctl replicate] / [health] / [explain --request]. *)
+
 val create : unit -> t
 
 (** {1 Counters} *)

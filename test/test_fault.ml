@@ -13,6 +13,7 @@ module Metrics = Xmlac_util.Metrics
 module Pp = Xmlac_xpath.Pp
 module W = Xmlac_workload
 module Serve = Xmlac_serve.Serve
+module Repl = Xmlac_replicate.Replicate
 
 (* ------------------------------------------------------------------ *)
 (* The fault-point registry. *)
@@ -286,7 +287,8 @@ let test_crash_sweep_annotate_subjects () =
 
 (* The ISSUE's coverage floor: the mutating paths cross named points
    spanning the WAL, relational sign UPDATEs, native sign stamping,
-   structural applies and CAM repair. *)
+   structural applies, CAM repair — and one replication round crosses
+   the transport's ship/receive/apply/acknowledge points. *)
 let test_fault_point_coverage () =
   Fault.reset ();
   let eng = (hospital_fixture ()) () in
@@ -296,6 +298,15 @@ let test_fault_point_coverage () =
     (Engine.insert eng ~at:"//patient[psn = \"099\"]"
        ~fragment:(treatment_fragment ()));
   ignore (Engine.request ~lane:Rewrite.Rewrite eng Engine.Native "//patient");
+  (* One shipped epoch drives the replication lane's points. *)
+  let cluster =
+    Repl.create ~followers:1 ~dtd:W.Hospital.dtd ~policy:W.Hospital.policy
+      (W.Hospital.sample_document ())
+  in
+  (match Repl.update cluster "//patient/treatment" with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "coverage cluster update failed");
+  ignore (Repl.sync cluster);
   let reg = Fault.registered () in
   List.iter
     (fun p ->
@@ -307,7 +318,23 @@ let test_fault_point_coverage () =
       "native.insert"; "row.insert"; "column.insert"; "cam.repair";
       "rewrite.compile";
       "snapshot.publish"; "snapshot.share"; "snapshot.reclaim"; "snapshot.gc";
+      "repl.ship"; "repl.recv"; "repl.apply"; "repl.ack";
     ];
+  Fault.reset ()
+
+(* Coverage enumeration must be deterministic: the registry lists
+   names sorted regardless of registration order, so fault-matrix
+   sweeps visit points in a stable order across runs. *)
+let test_registered_sorted () =
+  Fault.reset ();
+  List.iter Fault.point [ "t.sort.c"; "t.sort.a"; "t.sort.b" ];
+  let reg = Fault.registered () in
+  Alcotest.(check (list string)) "listing is sorted"
+    (List.sort String.compare reg)
+    reg;
+  Alcotest.(check (list string)) "insertion order does not leak"
+    [ "t.sort.a"; "t.sort.b"; "t.sort.c" ]
+    (List.filter (fun p -> String.length p > 6 && String.sub p 0 6 = "t.sort") reg);
   Fault.reset ()
 
 (* A killed rewrite-lane request dies before the store is touched: no
@@ -547,6 +574,7 @@ let () =
           tc "insert epoch" test_crash_sweep_insert;
           tc "multi-role epoch" test_crash_sweep_annotate_subjects;
           tc "fault point coverage" test_fault_point_coverage;
+          tc "registry listing sorted" test_registered_sorted;
           tc "rewrite compile kill isolated" test_rewrite_compile_kill_isolated;
           tc "open epoch guards mutations" test_open_epoch_guard;
           tc "recover is idempotent" test_recover_idempotent;

@@ -1,0 +1,613 @@
+(* Replication: the WAL's epoch cursor, the epoch shipper and follower
+   apply loop under chaos transport, kill sweeps over every repl.*
+   fault point, promotion after leader kill, and the cross-node
+   equivalence property — every follower answers byte-identically to
+   the leader after a random committed epoch chain shipped through a
+   faulty transport. *)
+
+open Xmlac_core
+module Tree = Xmlac_xml.Tree
+module Wal = Xmlac_reldb.Wal
+module Fault = Xmlac_util.Fault
+module Prng = Xmlac_util.Prng
+module Metrics = Xmlac_util.Metrics
+module W = Xmlac_workload
+module Serve = Xmlac_serve.Serve
+module Repl = Xmlac_replicate.Replicate
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the WAL epoch cursor. *)
+
+let test_fold_epochs () =
+  let w = Wal.create () in
+  Wal.log w "base";
+  Wal.begin_epoch w 1;
+  Wal.log w "a";
+  Wal.log w "b";
+  Wal.commit_epoch w 1;
+  Wal.begin_epoch w 2;
+  Wal.log w "c";
+  Wal.commit_epoch w 2;
+  Wal.begin_epoch w 3;
+  Wal.log w "d" (* epoch 3 never commits *);
+  let epochs =
+    Wal.fold_epochs w
+      (fun acc ~epoch ~records -> (epoch, records) :: acc)
+      []
+    |> List.rev
+  in
+  Alcotest.(check (list (pair int (list string))))
+    "committed epochs only, base image excluded"
+    [ (1, [ "a"; "b" ]); (2, [ "c" ]) ]
+    epochs;
+  let from1 =
+    Wal.fold_epochs ~from:1 w
+      (fun acc ~epoch ~records:_ -> epoch :: acc)
+      []
+  in
+  Alcotest.(check (list int)) "cursor seeks past epoch 1" [ 2 ] from1;
+  Alcotest.(check (option (list string)))
+    "seek-by-epoch" (Some [ "a"; "b" ]) (Wal.epoch_records w 1);
+  Alcotest.(check (option (list string)))
+    "open epoch invisible" None (Wal.epoch_records w 3);
+  Alcotest.(check bool) "epoch checksum matches the record batch" true
+    (Wal.epoch_checksum w 1
+    = Some (List.fold_left Wal.adler32 1l [ "a"; "b" ]));
+  Alcotest.(check (option int32)) "no checksum for an open epoch" None
+    (Wal.epoch_checksum w 3);
+  (* replay shares the cursor: base image + committed epoch records. *)
+  let seen = ref [] in
+  let n = Wal.replay w (fun s -> seen := s :: !seen) in
+  Alcotest.(check int) "replay count" 4 n;
+  Alcotest.(check (list string))
+    "replay order" [ "base"; "a"; "b"; "c" ] (List.rev !seen)
+
+(* Satellite regression: recovery truncation is idempotent under a
+   double crash.  A crash mid-truncation leaves some shorter
+   uncommitted suffix; recovering from any such intermediate state
+   must land on the same committed prefix as the uninterrupted
+   truncation, and a second recover must be a no-op. *)
+let test_double_crash_truncation_idempotent () =
+  Fault.reset ();
+  let tail = [ "t1"; "t2"; "t3" ] in
+  (* [mk k]: committed epoch 1 plus the first [k] records of an
+     uncommitted epoch-2 tail — the states a truncation interrupted
+     after dropping [3 - k] entries steps through. *)
+  let mk k =
+    let w = Wal.create () in
+    Wal.begin_epoch w 1;
+    Wal.log w "keep";
+    Wal.commit_epoch w 1;
+    Wal.begin_epoch w 2;
+    List.iteri (fun i r -> if i < k then Wal.log w r) tail;
+    w
+  in
+  let reference = mk 3 in
+  ignore (Wal.recover reference);
+  let observe w =
+    (Wal.entries w, Wal.records w, Wal.checksum w, Wal.open_epoch w,
+     Wal.fold_epochs w (fun acc ~epoch ~records -> (epoch, records) :: acc) [])
+  in
+  let expected = observe reference in
+  for k = 0 to 3 do
+    let w = mk k in
+    ignore (Wal.recover w);
+    Alcotest.(check bool)
+      (Printf.sprintf "partial truncation (%d tail entries left) converges" k)
+      true
+      (observe w = expected);
+    Alcotest.(check int)
+      (Printf.sprintf "second recover after %d-entry tail is a no-op" k)
+      0 (Wal.recover w);
+    Alcotest.(check bool)
+      (Printf.sprintf "no movement after double recover (%d)" k)
+      true
+      (observe w = expected)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cluster fixtures. *)
+
+let quiet_config = Repl.default_config
+
+let mk_cluster ?(config = quiet_config) ?(followers = 2) () =
+  Fault.reset ();
+  Repl.create ~config ~followers ~dtd:W.Hospital.dtd ~policy:W.Hospital.policy
+    (W.Hospital.sample_document ())
+
+let treatment_fragment () =
+  let frag = Tree.create ~root_name:"treatment" in
+  let reg = Tree.add_child frag (Tree.root frag) "regular" in
+  ignore (Tree.add_child frag reg ~value:"aspirin" "med");
+  ignore (Tree.add_child frag reg ~value:"120" "bill");
+  frag
+
+let ok what = function
+  | Ok _ -> ()
+  | Error (e : Serve.error) -> Alcotest.failf "%s: %s" what e.Serve.message
+
+let churn t =
+  ok "annotate_all" (Repl.annotate_all t);
+  ok "annotate_subjects_all" (Repl.annotate_subjects_all t);
+  ok "update" (Repl.update t "//patient/treatment");
+  ok "insert"
+    (Repl.insert t ~at:"//patient[psn = \"099\"]"
+       ~fragment:(treatment_fragment ()))
+
+let accessible_sets eng =
+  List.map (fun k -> (k, Engine.accessible eng k)) Engine.all_backend_kinds
+
+let subject_sets eng =
+  let roles = Policy.roles (Engine.policy eng) in
+  List.map
+    (fun k ->
+      ( k,
+        List.map (fun r -> (r, Engine.accessible_subject eng k r)) roles ))
+    Engine.all_backend_kinds
+
+(* Byte-identical equivalence between two engines: state digests,
+   visible id sets with and without subjects, and decisions on [qs]
+   across all backends, both forced lanes, and every subject. *)
+let check_twin_engines ctx leader follower qs =
+  Alcotest.(check int32)
+    (ctx ^ ": state digests agree")
+    (Engine.state_checksum leader)
+    (Engine.state_checksum follower);
+  Alcotest.(check bool)
+    (ctx ^ ": visible ids agree")
+    true
+    (accessible_sets leader = accessible_sets follower);
+  Alcotest.(check bool)
+    (ctx ^ ": per-subject visible ids agree")
+    true
+    (subject_sets leader = subject_sets follower);
+  let subjects = None :: List.map Option.some (Policy.roles (Engine.policy leader)) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun lane ->
+              List.iter
+                (fun subject ->
+                  let dl = Engine.request ?subject ~lane leader kind q in
+                  let df = Engine.request ?subject ~lane follower kind q in
+                  if dl <> df then
+                    Alcotest.failf "%s: decision differs on %s" ctx q)
+                subjects)
+            [ Rewrite.Materialized; Rewrite.Rewrite ])
+        Engine.all_backend_kinds)
+    qs
+
+let sample_queries =
+  [ "//patient"; "//patient/name"; "//treatment"; "//patient[treatment]" ]
+
+(* ------------------------------------------------------------------ *)
+(* The happy path: ship, apply, converge, serve. *)
+
+let test_basic_convergence () =
+  let t = mk_cluster () in
+  churn t;
+  Alcotest.(check bool) "cluster converges" true (Repl.sync t);
+  let ld = Repl.leader_engine t in
+  List.iter
+    (fun id ->
+      if Repl.node_role t id = Repl.Follower then begin
+        Alcotest.(check int)
+          (Printf.sprintf "node %d fully applied" id)
+          (Repl.committed t) (Repl.applied t id);
+        Alcotest.(check int) (Printf.sprintf "node %d lag" id) 0 (Repl.lag t id);
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d not diverged" id)
+          false (Repl.diverged t id);
+        check_twin_engines
+          (Printf.sprintf "node %d" id)
+          ld (Repl.engine t id) sample_queries
+      end)
+    (Repl.nodes t);
+  (* Faultless run: every applied epoch carried the WAL batch
+     cross-check and every one verified. *)
+  Alcotest.(check int) "every applied epoch WAL-verified"
+    (Metrics.counter (Repl.metrics t) "repl.applied")
+    (Metrics.counter (Repl.metrics t) "repl.wal_verified");
+  (* Reads through the serving layer agree across nodes. *)
+  List.iter
+    (fun q ->
+      let on id =
+        match Repl.read t ~node:id q with
+        | Ok r -> r.Serve.decision
+        | Error e -> Alcotest.failf "read on node %d: %s" id e.Serve.message
+      in
+      let d0 = on 0 in
+      Alcotest.(check bool) ("follower reads match leader: " ^ q) true
+        (on 1 = d0 && on 2 = d0))
+    sample_queries
+
+let test_follower_refuses_direct_mutation () =
+  let t = mk_cluster () in
+  match Engine.update (Repl.engine t 1) "//patient/treatment" with
+  | _ -> Alcotest.fail "read-only follower accepted a direct mutation"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "read-only message" true
+        (Helpers.contains msg "read-only replica")
+
+(* A leader-side kill during an annotation epoch rolls back; the
+   aborted epoch ships as a noop so replicas consume its number and
+   the digest chain stays aligned. *)
+let test_leader_abort_ships_noop () =
+  let t = mk_cluster ~followers:1 () in
+  Fault.arm "native.set_sign" (Fault.After 1);
+  (match Repl.annotate t Engine.Native with
+  | Ok () -> Alcotest.fail "armed kill did not surface"
+  | Error e ->
+      Alcotest.(check bool) "classified fatal" true (e.Serve.class_ = Serve.Fatal));
+  Alcotest.(check int) "aborted epoch framed as noop" 1
+    (Metrics.counter (Repl.metrics t) "repl.noops");
+  Alcotest.(check int) "stream advanced" 1 (Repl.committed t);
+  (* The kill is process-global: recovery (inside sync's heal) clears
+     it, after which the retried operation commits and ships. *)
+  Alcotest.(check bool) "noop syncs" true (Repl.sync t);
+  ok "annotate retried" (Repl.annotate t Engine.Native);
+  Alcotest.(check bool) "cluster converges" true (Repl.sync t);
+  check_twin_engines "after noop" (Repl.leader_engine t) (Repl.engine t 1)
+    sample_queries
+
+(* ------------------------------------------------------------------ *)
+(* Chaos transport: drops, duplicates, reorders, torn frames. *)
+
+let test_chaos_convergence () =
+  let config =
+    {
+      quiet_config with
+      Repl.seed = 20090101L;
+      drop_p = 0.3;
+      dup_p = 0.3;
+      reorder_p = 0.3;
+      torn_p = 0.2;
+      max_reship = 1000;
+    }
+  in
+  let t = mk_cluster ~config () in
+  churn t;
+  Alcotest.(check bool) "converges through chaos" true (Repl.sync ~rounds:300 t);
+  let m = Repl.metrics t in
+  Alcotest.(check bool) "chaos actually fired" true
+    (Metrics.counter m "repl.dropped" > 0
+    && Metrics.counter m "repl.duplicated" > 0
+    && Metrics.counter m "repl.torn" > 0);
+  Alcotest.(check bool) "torn frames were rejected, then re-shipped" true
+    (Metrics.counter m "repl.rejected" > 0
+    && Metrics.counter m "repl.gap_requests" > 0
+    && Metrics.counter m "repl.reshipped" > 0);
+  List.iter
+    (fun id ->
+      if Repl.node_role t id = Repl.Follower then
+        check_twin_engines
+          (Printf.sprintf "chaos node %d" id)
+          (Repl.leader_engine t) (Repl.engine t id) sample_queries)
+    (Repl.nodes t)
+
+let granted = function
+  | Ok r -> (
+      match r.Serve.decision with
+      | Requester.Granted _ -> true
+      | Requester.Denied _ -> false)
+  | Error _ -> false
+
+let test_partition_fails_closed () =
+  let t = mk_cluster () in
+  ok "annotate" (Repl.annotate_all t);
+  Alcotest.(check bool) "baseline sync" true (Repl.sync t);
+  Alcotest.(check bool) "baseline read grants" true
+    (granted (Repl.read t ~node:1 "//patient/name"));
+  Repl.set_partitioned t 1 true;
+  ok "update behind the partition" (Repl.update t "//patient/treatment");
+  ok "second update" (Repl.update t "//patient[psn = \"000\"]");
+  ignore (Repl.sync t);
+  Alcotest.(check int) "partitioned node lags" 2 (Repl.lag t 1);
+  let denials_before =
+    Metrics.counter (Repl.metrics t) Metrics.repl_stale_denials
+  in
+  (match Repl.read t ~node:1 "//patient/name" with
+  | Ok r ->
+      Alcotest.(check bool) "blanket deny" true
+        (r.Serve.decision = Requester.Denied { blocked = 0 });
+      Alcotest.(check bool) "served degraded" true (r.Serve.served = Serve.Degraded)
+  | Error e -> Alcotest.failf "fail-closed read errored: %s" e.Serve.message);
+  Alcotest.(check int) "stale denial counted" (denials_before + 1)
+    (Metrics.counter (Repl.metrics t) Metrics.repl_stale_denials);
+  (* Routing avoids the stale node. *)
+  let picked, reply = Repl.route t "//patient/name" in
+  Alcotest.(check int) "router picks the in-sync follower" 2 picked;
+  Alcotest.(check bool) "routed read grants" true (granted reply);
+  (* Reconnect: the gap is detected and re-shipped, service resumes. *)
+  Repl.set_partitioned t 1 false;
+  Alcotest.(check bool) "reconnected node catches up" true (Repl.sync t);
+  Alcotest.(check int) "lag cleared" 0 (Repl.lag t 1);
+  Alcotest.(check bool) "service restored" true
+    (granted (Repl.read t ~node:1 "//patient/name"))
+
+(* ------------------------------------------------------------------ *)
+(* Kill sweep: crash a follower at every fault point the apply path
+   crosses; while killed mid-epoch it must not serve, and after the
+   restart protocol it must land exactly on the leader's state —
+   never a partially-applied epoch. *)
+
+let kill_offsets hits =
+  List.filter
+    (fun k -> k >= 1 && k <= hits)
+    (List.sort_uniq compare [ 1; (hits + 1) / 2; hits ])
+
+let test_follower_kill_sweep () =
+  Fault.reset ();
+  (* Scout: learn every point one full replication round crosses. *)
+  let scout = mk_cluster ~followers:1 () in
+  churn scout;
+  let before = List.map (fun n -> (n, Fault.hits n)) (Fault.registered ()) in
+  Alcotest.(check bool) "scout syncs" true (Repl.sync scout);
+  let crossed =
+    List.filter_map
+      (fun n ->
+        let b = Option.value (List.assoc_opt n before) ~default:0 in
+        let d = Fault.hits n - b in
+        if d > 0 then Some (n, d) else None)
+      (Fault.registered ())
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) ("sweep covers " ^ p) true
+        (List.mem_assoc p crossed))
+    [ "repl.ship"; "repl.recv"; "repl.apply"; "repl.ack" ];
+  List.iter
+    (fun (pt, hits) ->
+      List.iter
+        (fun k ->
+          let t = mk_cluster ~followers:1 () in
+          churn t;
+          Fault.arm pt (Fault.After k);
+          (* Pump until the armed kill fires (or the sweep's round
+             budget shows it cannot). *)
+          let killed = ref false in
+          (try
+             for _ = 1 to 20 do
+               if not !killed then
+                 try Repl.pump t with Fault.Crash _ -> killed := true
+             done
+           with Fault.Crash _ -> killed := true);
+          if !killed then begin
+            let ctx = Printf.sprintf "kill at %s hit %d" pt k in
+            (* Mid-kill: a follower with an epoch open must not answer. *)
+            let f_eng = Repl.engine t 1 in
+            if Engine.open_epoch f_eng <> None then (
+              match Repl.read t ~node:1 "//patient" with
+              | Ok r ->
+                  Alcotest.(check bool)
+                    (ctx ^ ": mid-epoch read fails closed") true
+                    (r.Serve.served = Serve.Degraded)
+              | Error _ -> () (* fail-closed by error: also fine *));
+            (* Restart protocol: converge and match the leader. *)
+            Alcotest.(check bool) (ctx ^ ": heals and converges") true
+              (Repl.sync ~rounds:200 t);
+            Alcotest.(check (option int)) (ctx ^ ": no epoch left open") None
+              (Engine.open_epoch f_eng);
+            Alcotest.(check bool) (ctx ^ ": not diverged") false
+              (Repl.diverged t 1);
+            check_twin_engines ctx (Repl.leader_engine t) f_eng sample_queries
+          end;
+          Fault.reset ())
+        (kill_offsets hits))
+      crossed
+
+(* ------------------------------------------------------------------ *)
+(* Failover: kill the leader, promote a follower. *)
+
+let test_promote_after_leader_kill () =
+  let t = mk_cluster () in
+  churn t;
+  Alcotest.(check bool) "pre-kill sync" true (Repl.sync t);
+  (match Repl.promote t 1 with
+  | Ok _ -> Alcotest.fail "promotion with a live leader must refuse"
+  | Error msg ->
+      Alcotest.(check bool) "refusal names the live leader" true
+        (Helpers.contains msg "alive"));
+  Repl.kill_leader t;
+  (match Repl.read t ~node:0 "//patient" with
+  | Ok _ -> Alcotest.fail "dead leader served a read"
+  | Error e -> Alcotest.(check bool) "dead leader fatal" true
+      (e.Serve.class_ = Serve.Fatal));
+  (match Repl.update t "//patient" with
+  | Ok () -> Alcotest.fail "dead leader accepted a write"
+  | Error _ -> ());
+  let committed = Repl.committed t in
+  (match Repl.promote t 1 with
+  | Error msg -> Alcotest.failf "promotion refused: %s" msg
+  | Ok p ->
+      Alcotest.(check int) "promoted node" 1 p.Repl.node;
+      Alcotest.(check int) "promoted at the full tail" committed p.Repl.epoch;
+      Alcotest.(check int32) "digest recorded"
+        (Engine.state_checksum (Repl.engine t 1))
+        p.Repl.state_sum);
+  Alcotest.(check bool) "new leader alive" true (Repl.leader_alive t);
+  Alcotest.(check bool) "old leader deposed" true
+    (Repl.node_role t 0 = Repl.Deposed);
+  (match Repl.read t ~node:0 "//patient" with
+  | Ok _ -> Alcotest.fail "deposed node served a read"
+  | Error _ -> ());
+  (* The promoted engine is writable and passes recovery clean. *)
+  let r = Engine.recover (Repl.engine t 1) in
+  Alcotest.(check bool) "recovery finds nothing to do" true
+    (r.Engine.recovered_epoch = None && r.Engine.direction = `None);
+  ok "post-promotion write" (Repl.update t "//patient/treatment");
+  Alcotest.(check bool) "survivor re-syncs from the new leader" true
+    (Repl.sync t);
+  Alcotest.(check bool) "survivor serves again" true
+    (granted (Repl.read t ~node:2 "//patient/name"));
+  check_twin_engines "survivor vs new leader" (Repl.engine t 1)
+    (Repl.engine t 2) sample_queries
+
+(* Promoting a lagging follower truncates the stream to its tail;
+   survivors that applied past it hold epochs the new leader never
+   committed, so they are marked divergent and fail closed. *)
+let test_promote_lagging_tail () =
+  let t = mk_cluster () in
+  ok "annotate" (Repl.annotate_all t);
+  Alcotest.(check bool) "baseline sync" true (Repl.sync t);
+  let base = Repl.committed t in
+  Repl.set_partitioned t 2 true;
+  ok "update past node 2" (Repl.update t "//patient/treatment");
+  Alcotest.(check bool) "node 1 alone catches up" true (Repl.sync t);
+  Repl.kill_leader t;
+  (match Repl.promote t 2 with
+  | Error msg -> Alcotest.failf "promoting the short tail refused: %s" msg
+  | Ok p -> Alcotest.(check int) "promoted at its applied epoch" base p.Repl.epoch);
+  Alcotest.(check int) "stream truncated" base (Repl.committed t);
+  Alcotest.(check bool) "survivor ahead of the tail is divergent" true
+    (Repl.diverged t 1);
+  (match Repl.read t ~node:1 "//patient" with
+  | Ok r -> Alcotest.(check bool) "divergent survivor fails closed" true
+      (r.Serve.served = Serve.Degraded)
+  | Error _ -> ());
+  (* The divergent node refuses promotion too. *)
+  Repl.kill_leader t;
+  match Repl.promote t 1 with
+  | Ok _ -> Alcotest.fail "divergent node must refuse promotion"
+  | Error msg ->
+      Alcotest.(check bool) "refusal names divergence" true
+        (Helpers.contains msg "diverged")
+
+(* ------------------------------------------------------------------ *)
+(* The cross-node equivalence property: a random committed epoch chain
+   shipped through a faulty transport (drops, duplicates, reorders,
+   torn frames, one follower kill) leaves every follower answering
+   byte-identically to the leader — decisions with and without
+   subjects, visible id sets, both lanes, all three backends. *)
+
+let roles_policy =
+  lazy
+    (Policy_io.parse_exn
+       "role staff\n\
+        role doctor inherits staff\n\
+        default deny\n\
+        conflict deny\n\
+        allow //patient\n\
+        deny @staff //patient[treatment]\n\
+        allow @doctor //treatment\n")
+
+let rec random_update rng =
+  let e = Helpers.random_hospital_expr rng in
+  match e.Xmlac_xpath.Ast.steps with
+  | [ { Xmlac_xpath.Ast.test = Xmlac_xpath.Ast.Name "hospital"; _ } ]
+  | [ { Xmlac_xpath.Ast.test = Xmlac_xpath.Ast.Wildcard; _ } ] ->
+      random_update rng
+  | _ -> Xmlac_xpath.Pp.expr_to_string e
+
+let equivalence_prop =
+  QCheck2.Test.make
+    ~name:
+      "random epoch chain over faulty transport -> followers byte-identical \
+       to leader"
+    ~count:12
+    QCheck2.Gen.(pair Helpers.seed_gen Helpers.seed_gen)
+    (fun (doc_seed, chaos_seed) ->
+      Fault.reset ();
+      let rng = Prng.create ~seed:doc_seed in
+      let doc = Helpers.random_hospital_doc rng in
+      let policy = Lazy.force roles_policy in
+      let config =
+        {
+          quiet_config with
+          Repl.seed = chaos_seed;
+          drop_p = 0.25;
+          dup_p = 0.25;
+          reorder_p = 0.25;
+          torn_p = 0.15;
+          max_reship = 1000;
+        }
+      in
+      let t =
+        Repl.create ~config ~followers:2 ~dtd:W.Hospital.dtd ~policy doc
+      in
+      let submit = function
+        | Ok () | Error _ -> ()
+        (* A leader-side error (e.g. the injected kill landing on the
+           leader) still frames noops for aborted epochs; the chain
+           stays well-formed either way. *)
+      in
+      submit (Repl.annotate_all t);
+      submit (Repl.annotate_subjects_all t);
+      (* One follower kill somewhere in the apply stream. *)
+      Fault.arm "repl.apply" (Fault.After (1 + Prng.int rng 4));
+      let steps = 1 + Prng.int rng 4 in
+      for _ = 1 to steps do
+        (match Prng.int rng 3 with
+        | 0 -> submit (Repl.update t (random_update rng))
+        | 1 ->
+            submit
+              (Repl.insert t ~at:"//patient"
+                 ~fragment:
+                   (let f = Tree.create ~root_name:"treatment" in
+                    ignore
+                      (Tree.add_child f (Tree.root f) ~value:"x" "med");
+                    f))
+        | _ -> submit (Repl.annotate_all t));
+        try Repl.pump t with Fault.Crash _ -> ()
+      done;
+      if not (Repl.sync ~rounds:300 t) then
+        QCheck2.Test.fail_report "cluster failed to converge";
+      Fault.reset ();
+      let qs =
+        List.init 3 (fun _ ->
+            Xmlac_xpath.Pp.expr_to_string (Helpers.random_hospital_expr rng))
+      in
+      let ld = Repl.leader_engine t in
+      List.iter
+        (fun id ->
+          if Repl.node_role t id = Repl.Follower then begin
+            if Repl.diverged t id then
+              QCheck2.Test.fail_report
+                (Printf.sprintf "follower %d diverged" id);
+            check_twin_engines
+              (Printf.sprintf "follower %d" id)
+              ld (Repl.engine t id)
+              (sample_queries @ qs)
+          end)
+        (Repl.nodes t);
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "replicate"
+    [
+      ( "wal cursor",
+        [
+          tc "fold_epochs / seek-by-epoch / replay share one cursor"
+            test_fold_epochs;
+          tc "double-crash truncation idempotent"
+            test_double_crash_truncation_idempotent;
+        ] );
+      ( "stream",
+        [
+          tc "ship, apply, converge, serve" test_basic_convergence;
+          tc "follower refuses direct mutation"
+            test_follower_refuses_direct_mutation;
+          tc "leader abort ships a noop epoch" test_leader_abort_ships_noop;
+        ] );
+      ( "chaos",
+        [
+          tc "drops, dups, reorders, torn frames converge"
+            test_chaos_convergence;
+          tc "partition fails closed, reconnect recovers"
+            test_partition_fails_closed;
+        ] );
+      ( "kill sweeps",
+        [ tc "follower killed at every apply-path point" test_follower_kill_sweep ] );
+      ( "failover",
+        [
+          tc "promote after leader kill" test_promote_after_leader_kill;
+          tc "promoting a lagging tail marks survivors divergent"
+            test_promote_lagging_tail;
+        ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest equivalence_prop ] );
+    ]

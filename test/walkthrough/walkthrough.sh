@@ -58,10 +58,18 @@ show explain auction.policy --dtd xmark --doc site.xml \
   --request "//person/name" --request "//open_auction" \
   --subject visitor --subject auditor
 show health auction.policy --dtd xmark --doc site.xml \
-  --requests 24 --fault-rate 0.25 --seed 7
+  --requests 24 --fault-rate 0.25 --seed 7 --followers 2
 # Concurrent front end, pinned to --domains 1 so the scheduler is the
 # deterministic sequential fallback and the transcript stays stable;
 # the reader lines are identical at any domain count because every
 # session answers from the epoch it pinned at open.
 show serve auction.policy --dtd xmark --doc site.xml \
   --readers 4 --requests 6 --churn 3 --domains 1
+# Replication: a leader ships its committed epochs to two followers
+# over a seeded chaos transport (frames dropped, duplicated, reordered
+# and torn at --fault-rate); followers detect the gaps, request
+# re-ship, and converge to the leader's exact state.  --kill then
+# kills the leader, promotes the least-lagged follower after digest
+# verification, and commits one write through the new leader.
+show replicate auction.policy --dtd xmark --doc site.xml \
+  --churn 3 --fault-rate 0.2 --seed 7 --kill
